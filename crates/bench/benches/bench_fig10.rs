@@ -1,0 +1,20 @@
+//! Fig. 10 reproduction (quick scale) + PFTK inversion benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmp_bench::Scale;
+use tcp_model::pftk;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    println!("{}", dmp_bench::hetero::fig10(&scale));
+    c.bench_function("fig10/pftk_loss_inversion", |b| {
+        b.iter(|| std::hint::black_box(pftk::loss_for_throughput(30.0, 0.15, 4.0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

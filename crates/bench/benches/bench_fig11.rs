@@ -1,0 +1,26 @@
+//! Fig. 11 reproduction (quick scale) + single-path model benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmp_bench::Scale;
+use dmp_core::spec::PathSpec;
+use tcp_model::static_streaming_late_fraction;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    println!("{}", dmp_bench::static_cmp::fig11(&scale));
+    let paths = vec![PathSpec::from_ms(0.02, 200.0, 4.0); 2];
+    c.bench_function("fig11/static_scheme_100k_consumptions", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(static_streaming_late_fraction(&paths, 30.0, 8.0, 100_000, seed).f)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 4 reproduction (quick scale) + lateness-metric benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmp_bench::Scale;
+use dmp_core::metrics::LatenessReport;
+use dmp_core::spec::SchedulerKind;
+use dmp_sim::{run, setting, ExperimentSpec};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    println!("{}", dmp_bench::validation::fig4(&scale));
+    // Kernel: computing a lateness report over a real trace.
+    let mut spec = ExperimentSpec::new(*setting("2-2").unwrap(), SchedulerKind::Dynamic, 120.0, 7);
+    spec.warmup_s = 5.0;
+    let out = run(&spec);
+    let taus: Vec<f64> = (3..=11).map(f64::from).collect();
+    c.bench_function("fig4/lateness_report_6000pkts", |b| {
+        b.iter(|| std::hint::black_box(LatenessReport::from_trace(&out.trace, &taus)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 5 reproduction (quick scale) + heterogeneous-run benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmp_bench::Scale;
+use dmp_core::spec::SchedulerKind;
+use dmp_sim::{run, setting, ExperimentSpec};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    println!("{}", dmp_bench::validation::fig5(&scale));
+    c.bench_function("fig5/simulate_60s_setting_1-2", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut spec =
+                ExperimentSpec::new(*setting("1-2").unwrap(), SchedulerKind::Dynamic, 60.0, seed);
+            spec.warmup_s = 5.0;
+            std::hint::black_box(run(&spec).trace.delivered())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

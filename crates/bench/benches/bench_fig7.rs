@@ -1,0 +1,36 @@
+//! Fig. 7 reproduction (quick scale; wall-clock bound) + framing benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmp_bench::Scale;
+use dmp_live::wire::{decode, encode, Frame};
+
+fn bench(c: &mut Criterion) {
+    let mut scale = Scale::quick();
+    scale.live_packets = 200; // keep the wall-clock time of the bench log small
+    scale.live_experiments = 2;
+    println!("{}", dmp_bench::live_fig::fig7(&scale));
+    c.bench_function("fig7/frame_encode_decode_1448B", |b| {
+        let mut buf = bytes::BytesMut::with_capacity(4096);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            buf.clear();
+            encode(
+                &Frame {
+                    seq,
+                    gen_ns: seq * 1000,
+                },
+                1448,
+                &mut buf,
+            );
+            std::hint::black_box(decode(&mut buf).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

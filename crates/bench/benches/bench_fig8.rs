@@ -1,0 +1,26 @@
+//! Fig. 8 reproduction (quick scale) + SSA throughput benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmp_bench::Scale;
+use dmp_core::spec::PathSpec;
+use tcp_model::DmpModel;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    println!("{}", dmp_bench::params::fig8(&scale));
+    let model = DmpModel::new(vec![PathSpec::from_ms(0.02, 200.0, 4.0); 2], 25.0, 8.0);
+    c.bench_function("fig8/ssa_100k_consumptions", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(model.late_fraction(100_000, seed).f)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 9 reproduction (quick scale) + required-τ search benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmp_bench::Scale;
+use dmp_core::spec::PathSpec;
+use tcp_model::{required_startup_delay, DmpModel, SearchOptions};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    println!("{}", dmp_bench::params::fig9a(&scale));
+    println!("{}", dmp_bench::params::fig9b(&scale));
+    let opts = SearchOptions {
+        block: 50_000,
+        max_consumptions: 100_000,
+        resolution_s: 1.0,
+        ..SearchOptions::default()
+    };
+    c.bench_function("fig9/required_tau_search", |b| {
+        b.iter(|| {
+            std::hint::black_box(required_startup_delay(
+                |tau| DmpModel::new(vec![PathSpec::from_ms(0.02, 150.0, 4.0); 2], 30.0, tau),
+                &opts,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

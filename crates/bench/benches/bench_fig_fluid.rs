@@ -1,0 +1,18 @@
+//! Section 7.3 fluid example reproduction + fluid-integrator benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcp_model::fluid::section_7_3_comparison;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", dmp_bench::fluid_fig::fig_fluid());
+    c.bench_function("fig_fluid/comparison_200_periods", |b| {
+        b.iter(|| std::hint::black_box(section_7_3_comparison(50.0, 30.0, 10.0, 3.0, true)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Headline (1.6× vs 2×) reproduction + TCP-chain step-rate benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmp_bench::Scale;
+use dmp_core::spec::PathSpec;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tcp_model::TcpChain;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    println!("{}", dmp_bench::params::headline(&scale));
+    c.bench_function("headline/chain_10k_rounds", |b| {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut chain = TcpChain::new(PathSpec::from_ms(0.02, 150.0, 4.0), 64);
+        b.iter(|| {
+            let mut delivered = 0u64;
+            for _ in 0..10_000 {
+                delivered += u64::from(chain.step(&mut rng).delivered);
+            }
+            std::hint::black_box(delivered)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Table 1 reproduction + a benchmark of the report renderer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced table into the bench log.
+    println!("{}", dmp_bench::tables::table1());
+    c.bench_function("table1/render", |b| {
+        b.iter(|| std::hint::black_box(dmp_bench::tables::table1()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table 3 reproduction (quick scale) + a benchmark of a correlated-path run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmp_bench::Scale;
+use dmp_core::spec::SchedulerKind;
+use dmp_sim::{run, setting, ExperimentSpec};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    println!("{}", dmp_bench::tables::table3(&scale));
+    c.bench_function("table3/simulate_60s_corr-2", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut spec = ExperimentSpec::new(
+                *setting("corr-2").unwrap(),
+                SchedulerKind::Dynamic,
+                60.0,
+                seed,
+            );
+            spec.warmup_s = 5.0;
+            std::hint::black_box(run(&spec).trace.delivered())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

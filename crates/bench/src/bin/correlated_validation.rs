@@ -1,0 +1,5 @@
+//! Section 5.3's correlated-path validation (figures omitted in the paper).
+fn main() {
+    let scale = dmp_bench::scale_from_env();
+    print!("{}", dmp_bench::validation::correlated_validation(&scale));
+}

@@ -1,0 +1,5 @@
+//! Ablations: send-buffer size, RED vs drop-tail, Reno vs NewReno, static.
+fn main() {
+    let scale = dmp_bench::scale_from_env();
+    print!("{}", dmp_bench::extensions::ext_ablations(&scale));
+}

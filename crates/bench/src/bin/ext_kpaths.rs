@@ -1,0 +1,5 @@
+//! Extension: K > 2 paths (the paper's future work).
+fn main() {
+    let scale = dmp_bench::scale_from_env();
+    print!("{}", dmp_bench::extensions::ext_kpaths(&scale));
+}

@@ -1,0 +1,5 @@
+//! Reproduce Fig. 10: impact of path heterogeneity.
+fn main() {
+    let scale = dmp_bench::scale_from_env();
+    print!("{}", dmp_bench::hetero::fig10(&scale));
+}

@@ -1,0 +1,5 @@
+//! Reproduce Fig. 11: DMP-streaming vs static-streaming.
+fn main() {
+    let scale = dmp_bench::scale_from_env();
+    print!("{}", dmp_bench::static_cmp::fig11(&scale));
+}

@@ -1,0 +1,5 @@
+//! Reproduce Fig. 4: validation on Setting 2-2 (independent homogeneous).
+fn main() {
+    let scale = dmp_bench::scale_from_env();
+    print!("{}", dmp_bench::validation::fig4(&scale));
+}

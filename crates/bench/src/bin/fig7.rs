@@ -1,0 +1,5 @@
+//! Reproduce Fig. 7: live-socket validation (wall-clock bound!).
+fn main() {
+    let scale = dmp_bench::scale_from_env();
+    print!("{}", dmp_bench::live_fig::fig7(&scale));
+}

@@ -1,0 +1,6 @@
+//! Reproduce Fig. 9(a,b): required startup delay at σ_a/µ = 1.6.
+fn main() {
+    let scale = dmp_bench::scale_from_env();
+    print!("{}", dmp_bench::params::fig9a(&scale));
+    print!("{}", dmp_bench::params::fig9b(&scale));
+}

@@ -1,0 +1,4 @@
+//! Reproduce the Section 7.3 fluid example.
+fn main() {
+    print!("{}", dmp_bench::fluid_fig::fig_fluid());
+}

@@ -1,0 +1,4 @@
+//! Reproduce Table 1 (bottleneck configurations).
+fn main() {
+    print!("{}", dmp_bench::tables::table1());
+}

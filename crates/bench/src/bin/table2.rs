@@ -1,0 +1,5 @@
+//! Reproduce Table 2: measured p, R, T_O, µ for independent paths.
+fn main() {
+    let scale = dmp_bench::scale_from_env();
+    print!("{}", dmp_bench::tables::table2(&scale));
+}

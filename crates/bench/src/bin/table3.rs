@@ -1,0 +1,5 @@
+//! Reproduce Table 3: measured p, R, T_O, µ for correlated paths.
+fn main() {
+    let scale = dmp_bench::scale_from_env();
+    print!("{}", dmp_bench::tables::table3(&scale));
+}

@@ -1,0 +1,56 @@
+//! `dmp-bench` — the reproduction harness: one target per table and figure
+//! of *Multipath Live Streaming via TCP* (CoNEXT 2007).
+//!
+//! Every experiment is exposed twice:
+//!
+//! * a **binary** (`cargo run --release -p dmp-bench --bin <name>`) that runs
+//!   the full-fidelity version and prints the paper-shaped table/series;
+//! * a **Criterion bench** (`cargo bench -p dmp-bench`) that runs a reduced
+//!   [`Scale::quick`] version — printing the same series into the bench log —
+//!   and measures the throughput of the underlying kernel.
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `fig1`      | Fig. 1 — cumulative generation/arrival/playback curves |
+//! | `table1`    | Table 1 (configurations) |
+//! | `table2`    | Table 2 (independent paths: measured p, R, T_O, µ) |
+//! | `table3`    | Table 3 (correlated paths) |
+//! | `fig4`      | Fig. 4(a,b) — Setting 2-2 validation |
+//! | `fig5`      | Fig. 5(a,b) — Setting 1-2 validation |
+//! | `fig7`      | Fig. 7(a,b) — live-socket validation |
+//! | `fig8`      | Fig. 8 — diminishing gain from σ_a/µ |
+//! | `fig9`      | Fig. 9(a,b) — required startup delay at σ_a/µ = 1.6 |
+//! | `fig10`     | Fig. 10 — path heterogeneity |
+//! | `fig11`     | Fig. 11 — DMP vs static streaming |
+//! | `fig_fluid` | Section 7.3 fluid example |
+//! | `headline`  | the 1.6× (K=2) vs 2× (K=1) rule |
+//! | `repro_all` | everything above, in order |
+//! | `ext_kpaths`, `ext_stored`, `ext_ablations` | extensions beyond the paper (K > 2 paths, stored video, design ablations) |
+
+#![warn(missing_docs)]
+
+pub mod extensions;
+pub mod fluid_fig;
+pub mod hetero;
+pub mod live_fig;
+pub mod params;
+pub mod report;
+pub mod scale;
+pub mod static_cmp;
+pub mod tables;
+pub mod validation;
+
+pub use scale::Scale;
+
+/// Parse a `--quick` flag / `DMP_QUICK=1` env var for the binaries.
+pub fn scale_from_env() -> Scale {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("DMP_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    if quick {
+        Scale::quick()
+    } else {
+        Scale::full()
+    }
+}

@@ -1,0 +1,123 @@
+//! Figure 7: validation against real-socket streaming runs (the paper's
+//! Internet experiments, here over the in-process path emulator).
+//!
+//! Each experiment streams a live video over two emulated paths with
+//! time-varying service rates, evaluates the measured late fraction at
+//! τ ∈ {4, 6, 8, 10} s in both playback and arrival order (Fig. 7a), and
+//! compares the measurement against the model prediction with effective path
+//! parameters estimated from the configuration (Fig. 7b). The paper's match
+//! criterion is that points fall within the ×10 / ÷10 diagonal band.
+
+use std::time::Duration;
+
+use dmp_core::spec::VideoSpec;
+use dmp_live::{model_prediction, run_experiment, LiveExperiment, PathProfile};
+
+use crate::report::{frac, Table};
+use crate::scale::Scale;
+
+/// The experiment mix, mirroring the paper: homogeneous "ADSL" pairs at
+/// µ ∈ {25, 50} and heterogeneous (one coast-to-coast path) at µ = 100,
+/// 1448-byte packets, headroom ratios spread around 1.3–2.
+pub fn experiment_set(scale: &Scale) -> Vec<LiveExperiment> {
+    let mut v = Vec::new();
+    let pkt = 1448u32;
+    let bits = f64::from(pkt) * 8.0;
+    for i in 0..scale.live_experiments {
+        let (mu, ratio, hetero) = match i % 5 {
+            0 => (25.0, 1.4, false),
+            1 => (25.0, 1.8, false),
+            2 => (50.0, 1.3, false),
+            3 => (50.0, 1.6, false),
+            _ => (100.0, 1.7, true),
+        };
+        let total_bps = ratio * mu * bits;
+        let (r0, r1) = if hetero {
+            (0.65 * total_bps, 0.35 * total_bps)
+        } else {
+            (0.5 * total_bps, 0.5 * total_bps)
+        };
+        let delay0 = Duration::from_millis(30);
+        let delay1 = Duration::from_millis(if hetero { 100 } else { 30 });
+        let mk = |rate: f64, delay: Duration| PathProfile {
+            rate_bps: rate,
+            variability: 0.35,
+            resample_every: Duration::from_millis(700),
+            delay,
+            queue_bytes: 48 * 1024,
+        };
+        v.push(LiveExperiment {
+            video: VideoSpec {
+                rate_pps: mu,
+                packet_bytes: pkt,
+            },
+            packets: scale.live_packets,
+            paths: vec![mk(r0, delay0), mk(r1, delay1)],
+            send_buf_bytes: 16 * 1024,
+            seed: scale.seed.wrapping_add(i as u64 * 97),
+        });
+    }
+    v
+}
+
+/// Run the Fig. 7 experiment set (wall-clock bound: `packets/µ` seconds per
+/// experiment) and print both panels.
+pub fn fig7(scale: &Scale) -> String {
+    let taus = [4.0, 6.0, 8.0, 10.0];
+    let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
+    let mut a = Table::new(
+        "Fig 7(a): out-of-order effect in live runs",
+        &["exp", "tau (s)", "f (playback order)", "f (arrival order)"],
+    );
+    let mut b = Table::new(
+        "Fig 7(b): measurement vs model (the paper's x10 band; measured-zero \
+         points are excluded from the scatter, as in the paper)",
+        &["exp", "tau (s)", "f (measured)", "f (model)", "verdict"],
+    );
+    let mut plotted = 0u32;
+    let mut in_band_count = 0u32;
+    for (i, exp) in experiment_set(scale).iter().enumerate() {
+        let run = rt.block_on(run_experiment(exp, &taus)).expect("live run");
+        for lf in &run.report.per_tau {
+            a.row(vec![
+                i.to_string(),
+                format!("{:.0}", lf.tau_s),
+                frac(lf.playback_order),
+                frac(lf.arrival_order),
+            ]);
+            let fm = model_prediction(exp, lf.tau_s, scale.model_consumptions.min(500_000));
+            let verdict = if lf.playback_order == 0.0 {
+                // The paper: zero-f experiments "are not shown in the plot".
+                "(0; not plotted)".to_string()
+            } else {
+                plotted += 1;
+                let ratio = fm / lf.playback_order;
+                let ok = (0.1..10.0).contains(&ratio)
+                    // Model reporting 0 against a barely-resolved measurement
+                    // counts as a match (the paper's model reported exact 0s).
+                    || (fm == 0.0 && lf.playback_order < 1e-3);
+                if ok {
+                    in_band_count += 1;
+                    "in band".to_string()
+                } else {
+                    format!("OUT ({ratio:.1}x)")
+                }
+            };
+            b.row(vec![
+                i.to_string(),
+                format!("{:.0}", lf.tau_s),
+                frac(lf.playback_order),
+                frac(fm),
+                verdict,
+            ]);
+        }
+    }
+    let mut out = a.render();
+    out.push('\n');
+    out.push_str(&b.render());
+    out.push_str(&format!(
+        "\nScatter summary: {in_band_count}/{plotted} plotted points inside the x10 band \
+         (paper: all but one point).\n"
+    ));
+    out
+}

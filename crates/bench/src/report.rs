@@ -1,0 +1,112 @@
+//! Plain-text report formatting: fixed-width tables and (x, y…) series that
+//! mirror the rows and curves of the paper's tables and figures.
+
+use std::fmt::Write as _;
+
+/// A fixed-width text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{:>width$}  ", c, width = w);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format a value with a 95% confidence half-width, e.g. `0.037 ±0.004`.
+pub fn ci(mean: f64, half: f64, digits: usize) -> String {
+    format!("{mean:.digits$} ±{half:.digits$}")
+}
+
+/// Format a late fraction in scientific-ish notation like the paper's log
+/// plots (`<1e-6` for zero observations).
+pub fn frac(f: f64) -> String {
+    if f == 0.0 {
+        "<1e-6".to_string()
+    } else {
+        format!("{f:.2e}")
+    }
+}
+
+/// Format an optional required startup delay (`-` = not reachable).
+pub fn tau(t: Option<f64>) -> String {
+    match t {
+        Some(t) => format!("{t:.1}"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "value"]);
+        t.row(vec!["x".into(), "1.0".into()]);
+        t.row(vec!["longer".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("longer"));
+        // Both rows align on the same column width.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        Table::new("t", &["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ci(0.0371, 0.0042, 3), "0.037 ±0.004");
+        assert_eq!(frac(0.0), "<1e-6");
+        assert_eq!(frac(3.2e-4), "3.20e-4");
+        assert_eq!(tau(Some(9.95)), "9.9"); // f64 formatting truncation is fine
+        assert_eq!(tau(None), "-");
+    }
+}

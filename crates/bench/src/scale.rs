@@ -1,0 +1,64 @@
+//! Experiment scaling: every table/figure can run at `full` fidelity (the
+//! reproduction binaries; minutes of compute) or `quick` (the Criterion
+//! benches and smoke tests; seconds, noisier estimates but the same shape).
+
+use tcp_model::SearchOptions;
+
+/// Knobs shared by all reproduction targets.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Simulated video duration per run, seconds (paper: 10 000 s).
+    pub sim_duration_s: f64,
+    /// Replications per simulated setting (paper: 30).
+    pub sim_runs: usize,
+    /// Consumption events per model late-fraction estimate.
+    pub model_consumptions: u64,
+    /// Cap on consumption events inside required-τ searches.
+    pub search_consumptions: u64,
+    /// Packets per live (wall-clock!) streaming run.
+    pub live_packets: u64,
+    /// Number of live experiments for the Fig. 7 scatter.
+    pub live_experiments: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Full reproduction fidelity (minutes per figure).
+    pub fn full() -> Self {
+        Self {
+            sim_duration_s: 3_000.0,
+            sim_runs: 10,
+            model_consumptions: 2_000_000,
+            search_consumptions: 2_000_000,
+            live_packets: 3_000,
+            live_experiments: 10,
+            seed: 2007,
+        }
+    }
+
+    /// Quick mode for benches/smoke tests (seconds per figure).
+    pub fn quick() -> Self {
+        Self {
+            sim_duration_s: 300.0,
+            sim_runs: 3,
+            model_consumptions: 300_000,
+            search_consumptions: 400_000,
+            live_packets: 400,
+            live_experiments: 3,
+            seed: 2007,
+        }
+    }
+
+    /// Search options matching this scale (threshold 1e-4 as in the paper).
+    pub fn search_options(&self) -> SearchOptions {
+        SearchOptions {
+            threshold: 1e-4,
+            block: (self.search_consumptions / 5).max(50_000),
+            max_consumptions: self.search_consumptions,
+            resolution_s: 0.5,
+            tau_max_s: 150.0,
+            seed: self.seed,
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Figure 11: DMP-streaming versus the static allocation scheme
+//! (Section 7.4), in the model.
+//!
+//! With two homogeneous paths, static streaming is two independent
+//! single-path streams of rate µ/2; its required startup delay is computed
+//! with the single-path (K = 1, µ/2) model and compared against DMP's.
+
+use dmp_core::spec::PathSpec;
+use tcp_model::{calibrate, required_startup_delay, DmpModel};
+
+use crate::report::{tau, Table};
+use crate::scale::Scale;
+
+/// One comparison column of Fig. 11.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticSetting {
+    /// RTT, seconds.
+    pub rtt_s: f64,
+    /// Target `σ_a/µ`.
+    pub ratio: f64,
+}
+
+/// The figure's five setting groups: R ∈ {100, 200, 300} ms at
+/// `σ_a/µ = 1.6`, plus R = 300 ms at 1.8 and 2.0; loss ∈ {0.004, 0.02,
+/// 0.04} within each group, T_O = 4.
+pub fn paper_settings() -> Vec<StaticSetting> {
+    vec![
+        StaticSetting {
+            rtt_s: 0.100,
+            ratio: 1.6,
+        },
+        StaticSetting {
+            rtt_s: 0.200,
+            ratio: 1.6,
+        },
+        StaticSetting {
+            rtt_s: 0.300,
+            ratio: 1.6,
+        },
+        StaticSetting {
+            rtt_s: 0.300,
+            ratio: 1.8,
+        },
+        StaticSetting {
+            rtt_s: 0.300,
+            ratio: 2.0,
+        },
+    ]
+}
+
+/// Required startup delay of static streaming: each path carries an
+/// independent single-path stream at µ/2.
+pub fn static_required_tau(
+    path: PathSpec,
+    mu: f64,
+    opts: &tcp_model::SearchOptions,
+) -> Option<f64> {
+    required_startup_delay(|t| DmpModel::new(vec![path], mu / 2.0, t), opts)
+}
+
+/// Required startup delay of DMP-streaming over the two paths.
+pub fn dmp_required_tau(path: PathSpec, mu: f64, opts: &tcp_model::SearchOptions) -> Option<f64> {
+    required_startup_delay(|t| DmpModel::new(vec![path; 2], mu, t), opts)
+}
+
+/// Fig. 11: required startup delay, static vs DMP, across the paper's
+/// representative settings.
+pub fn fig11(scale: &Scale) -> String {
+    let mut t = Table::new(
+        "Fig 11: required startup delay (s), static-streaming vs DMP-streaming (TO=4)",
+        &["R (ms)", "sigma_a/mu", "p", "static", "DMP"],
+    );
+    let opts = scale.search_options();
+    for s in paper_settings() {
+        for &p in &[0.004, 0.02, 0.04] {
+            let mu = calibrate::mu_for_ratio(p, s.rtt_s, 4.0, DmpModel::DEFAULT_WMAX, 2, s.ratio);
+            let path = PathSpec {
+                loss: p,
+                rtt_s: s.rtt_s,
+                to_ratio: 4.0,
+            };
+            let t_static = static_required_tau(path, mu, &opts);
+            let t_dmp = dmp_required_tau(path, mu, &opts);
+            t.row(vec![
+                format!("{:.0}", s.rtt_s * 1e3),
+                format!("{:.1}", s.ratio),
+                format!("{p:.3}"),
+                tau(t_static),
+                tau(t_dmp),
+            ]);
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn dmp_needs_no_more_delay_than_static() {
+        // One representative point, quick search budget.
+        let scale = Scale::quick();
+        let opts = scale.search_options();
+        let p = 0.02;
+        let s = StaticSetting {
+            rtt_s: 0.200,
+            ratio: 1.6,
+        };
+        let mu = calibrate::mu_for_ratio(p, s.rtt_s, 4.0, DmpModel::DEFAULT_WMAX, 2, s.ratio);
+        let path = PathSpec {
+            loss: p,
+            rtt_s: s.rtt_s,
+            to_ratio: 4.0,
+        };
+        let t_static = static_required_tau(path, mu, &opts).expect("static reachable");
+        let t_dmp = dmp_required_tau(path, mu, &opts).expect("dmp reachable");
+        assert!(
+            t_dmp <= t_static,
+            "DMP τ = {t_dmp} should not exceed static τ = {t_static}"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Tables 1–3: the bottleneck configurations and the measured per-path TCP
+//! parameters of the validation settings.
+
+use dmp_core::spec::SchedulerKind;
+use dmp_sim::{run_batch, ExperimentSpec, Setting, CORRELATED, HETEROGENEOUS, HOMOGENEOUS, TABLE1};
+
+use crate::report::{ci, Table};
+use crate::scale::Scale;
+
+/// Table 1: the four bottleneck-link configurations (static input — printed
+/// so the reproduction is self-describing).
+pub fn table1() -> String {
+    let mut t = Table::new(
+        "Table 1: bottleneck-link configurations",
+        &[
+            "Config",
+            "FTP flows",
+            "HTTP flows",
+            "Prop. delay (ms)",
+            "B.w. (Mbps)",
+            "Buffer (pkts)",
+        ],
+    );
+    for c in &TABLE1 {
+        t.row(vec![
+            c.id.to_string(),
+            c.ftp_flows.to_string(),
+            c.http_flows.to_string(),
+            format!("{:.0}", c.delay_ms),
+            format!("{:.1}", c.bandwidth_mbps),
+            c.buffer_pkts.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+fn measure_settings(title: &str, settings: &[Setting], scale: &Scale) -> String {
+    let mut t = Table::new(
+        title,
+        &[
+            "Setting",
+            "p1",
+            "p2",
+            "R1 (ms)",
+            "R2 (ms)",
+            "TO1",
+            "TO2",
+            "mu (pkts ps)",
+        ],
+    );
+    for (i, s) in settings.iter().enumerate() {
+        let spec = ExperimentSpec::new(
+            *s,
+            SchedulerKind::Dynamic,
+            scale.sim_duration_s,
+            scale.seed.wrapping_add(1000 * i as u64),
+        );
+        let batch = run_batch(&spec, scale.sim_runs, &[]);
+        t.row(vec![
+            s.name.to_string(),
+            ci(batch.loss[0].mean(), batch.loss[0].ci95_half_width(), 3),
+            ci(batch.loss[1].mean(), batch.loss[1].ci95_half_width(), 3),
+            ci(
+                batch.rtt[0].mean() * 1e3,
+                batch.rtt[0].ci95_half_width() * 1e3,
+                0,
+            ),
+            ci(
+                batch.rtt[1].mean() * 1e3,
+                batch.rtt[1].ci95_half_width() * 1e3,
+                0,
+            ),
+            ci(
+                batch.to_ratio[0].mean(),
+                batch.to_ratio[0].ci95_half_width(),
+                2,
+            ),
+            ci(
+                batch.to_ratio[1].mean(),
+                batch.to_ratio[1].ci95_half_width(),
+                2,
+            ),
+            format!("{:.0}", s.video.rate_pps),
+        ]);
+    }
+    t.render()
+}
+
+/// Table 2 analog: measured `p`, `R`, `T_O`, µ for the independent-path
+/// settings (homogeneous then heterogeneous).
+pub fn table2(scale: &Scale) -> String {
+    let mut out = measure_settings(
+        "Table 2: measured video-stream parameters, independent paths (homogeneous)",
+        &HOMOGENEOUS,
+        scale,
+    );
+    out.push('\n');
+    out.push_str(&measure_settings(
+        "Table 2 (cont.): independent heterogeneous paths",
+        &HETEROGENEOUS,
+        scale,
+    ));
+    out
+}
+
+/// Table 3 analog: the same measurements when both TCP flows share one
+/// bottleneck (correlated paths, Fig. 6 topology).
+pub fn table3(scale: &Scale) -> String {
+    measure_settings(
+        "Table 3: measured video-stream parameters, correlated paths",
+        &CORRELATED,
+        scale,
+    )
+}

@@ -1,0 +1,40 @@
+//! Core building blocks for **DMP-streaming** — Dynamic MPath-streaming of
+//! live video over multiple TCP connections (Wang, Wei, Guo, Towsley,
+//! *Multipath Live Streaming via TCP*, CoNEXT 2007).
+//!
+//! This crate is runtime-agnostic: it contains the pieces of the scheme that
+//! are shared between the discrete-event simulation (`dmp-sim`), the real
+//! tokio implementation (`dmp-live`), and the analytical model (`tcp-model`):
+//!
+//! * [`spec`] — parameter types describing videos, paths, and experiments;
+//! * [`scheme`] — the server-side packet schedulers (dynamic shared queue,
+//!   static weighted splitter) and the client-side reorder buffer;
+//! * [`trace`] — per-packet delivery traces recorded by either backend;
+//! * [`metrics`] — the paper's performance metric (fraction of late packets),
+//!   computed both in playback order and in arrival order;
+//! * [`stats`] — small statistics helpers (means, confidence intervals).
+//!
+//! # The scheme in one paragraph
+//!
+//! The server generates constant-bit-rate video packets in real time and
+//! appends them to a single *server queue*. Each of the `K` TCP senders, when
+//! its socket send buffer has room, locks the queue and pulls packets from the
+//! head until it can accept no more. Because a path with higher achievable
+//! TCP throughput drains its send buffer faster, it pulls a larger share of
+//! the stream — the scheme *implicitly* infers per-path bandwidth from TCP
+//! backpressure, with no probing traffic. The client reassembles packets by
+//! sequence number and plays them back after a startup delay `τ`; a packet
+//! arriving after its playback instant is *late*.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod scheme;
+pub mod spec;
+pub mod stats;
+pub mod trace;
+
+pub use metrics::{buffer_occupancy, BufferOccupancy, LateFractions, LatenessReport};
+pub use scheme::{DynamicQueue, ReorderBuffer, StaticSplitter, StreamPacket};
+pub use spec::{PathSpec, SchedulerKind, VideoSpec};
+pub use trace::{DeliveryRecord, StreamTrace};

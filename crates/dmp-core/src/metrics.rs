@@ -1,0 +1,278 @@
+//! The paper's performance metric: the **fraction of late packets**.
+//!
+//! A packet is *late* when it arrives at the client after its playback
+//! instant. With a startup delay `τ`, packet `i` (generated at `g_i`) plays
+//! back at `g_i + τ`, so it is late iff `arrival_i > g_i + τ`.
+//!
+//! Section 4.1 also analyses playback **in arrival order** (the j-th packet
+//! to arrive is played in the j-th playback slot); comparing the two
+//! quantities is how Figures 4(a), 5(a) and 7(a) validate that out-of-order
+//! arrivals across paths have a negligible effect.
+
+use crate::trace::{DeliveryRecord, StreamTrace};
+
+/// Late-packet fractions for one startup delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LateFractions {
+    /// Startup delay τ in seconds.
+    pub tau_s: f64,
+    /// Fraction of late packets when playing back by playback time
+    /// (the "actual" fraction of late packets).
+    pub playback_order: f64,
+    /// Fraction of late packets when playing back in arrival order.
+    pub arrival_order: f64,
+    /// Number of packets considered.
+    pub total: u64,
+}
+
+/// Lateness evaluated over a set of startup delays, from a single trace.
+///
+/// The sending side of live streaming never depends on τ (the server can only
+/// send what it has generated), so one trace yields the late fraction for
+/// every τ simultaneously — exactly how the paper's scatter plots evaluate
+/// τ ∈ {4, 6, 8, 10} s from one set of runs.
+#[derive(Debug, Clone)]
+pub struct LatenessReport {
+    /// One entry per requested τ, in the same order.
+    pub per_tau: Vec<LateFractions>,
+}
+
+impl LatenessReport {
+    /// Compute lateness for each startup delay in `taus_s` from a trace.
+    /// Only "stable" records (generated long enough before the end of the
+    /// run) are considered, so truncation does not bias the estimate.
+    pub fn from_trace(trace: &StreamTrace, taus_s: &[f64]) -> Self {
+        let max_tau = taus_s.iter().cloned().fold(0.0, f64::max);
+        let records = trace.stable_records(max_tau);
+        let per_tau = taus_s
+            .iter()
+            .map(|&tau| LateFractions {
+                tau_s: tau,
+                playback_order: late_fraction_playback(records, tau),
+                arrival_order: late_fraction_arrival_order(records, trace.video().rate_pps, tau),
+                total: records.len() as u64,
+            })
+            .collect();
+        Self { per_tau }
+    }
+
+    /// The smallest of the evaluated startup delays whose playback-order late
+    /// fraction is below `threshold`, if any.
+    pub fn required_startup_delay(&self, threshold: f64) -> Option<f64> {
+        self.per_tau
+            .iter()
+            .filter(|lf| lf.playback_order < threshold)
+            .map(|lf| lf.tau_s)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+    }
+}
+
+/// Fraction of packets late under playback-time order: packet `i` is late iff
+/// it never arrived or arrived after `gen_i + τ`.
+pub fn late_fraction_playback(records: &[DeliveryRecord], tau_s: f64) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    let tau_ns = (tau_s * 1e9) as u64;
+    let late = records
+        .iter()
+        .filter(|r| match r.arrival_ns {
+            None => true,
+            Some(a) => a > r.gen_ns + tau_ns,
+        })
+        .count();
+    late as f64 / records.len() as f64
+}
+
+/// Fraction of packets late when the client plays packets **in the order they
+/// arrive**: the j-th arrival is consumed in playback slot j, i.e. at
+/// `t₀ + j/µ + τ` where `t₀` is the generation time of packet 0.
+pub fn late_fraction_arrival_order(records: &[DeliveryRecord], rate_pps: f64, tau_s: f64) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    let t0 = records[0].gen_ns;
+    let mut arrivals: Vec<u64> = records.iter().filter_map(|r| r.arrival_ns).collect();
+    arrivals.sort_unstable();
+    if arrivals.is_empty() {
+        return 1.0;
+    }
+    let tau_ns = tau_s * 1e9;
+    let slot_ns = 1e9 / rate_pps;
+    // Packets that never arrived occupy no playback slot here, but they are
+    // certainly late; count them against the total.
+    let missing = records.len() - arrivals.len();
+    let late = arrivals
+        .iter()
+        .enumerate()
+        .filter(|(j, &a)| (a - t0) as f64 > *j as f64 * slot_ns + tau_ns)
+        .count();
+    (late + missing) as f64 / records.len() as f64
+}
+
+/// Client-buffer occupancy statistics for a startup delay τ: how many
+/// packets sit in the client's buffer (arrived but not yet played). The
+/// paper assumes the buffer is "sufficiently large"; this quantifies what
+/// that means for a given trace — the maximum is the buffer a real client
+/// must provision (§2: occupancy never exceeds µτ in live streaming, which
+/// the unit tests assert).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferOccupancy {
+    /// Peak number of packets buffered at once.
+    pub peak_pkts: u64,
+    /// Time-average number of packets buffered (sampled at event times).
+    pub mean_pkts: f64,
+}
+
+/// Compute buffer occupancy for a trace at startup delay `tau_s`.
+///
+/// Occupancy(t) = arrivals(t) − playbacks(t), where packet `i` plays at
+/// `gen_i + τ`. Evaluated by an event sweep over arrivals and playback
+/// instants.
+pub fn buffer_occupancy(records: &[DeliveryRecord], tau_s: f64) -> BufferOccupancy {
+    let tau_ns = (tau_s * 1e9) as u64;
+    // Events: +1 at each arrival, −1 at each playback instant (late packets
+    // are played on arrival — they never occupy the buffer).
+    let mut events: Vec<(u64, i64)> = Vec::with_capacity(records.len() * 2);
+    for r in records {
+        if let Some(a) = r.arrival_ns {
+            let play = r.gen_ns + tau_ns;
+            if a < play {
+                events.push((a, 1));
+                events.push((play, -1));
+            }
+        }
+    }
+    if events.is_empty() {
+        return BufferOccupancy {
+            peak_pkts: 0,
+            mean_pkts: 0.0,
+        };
+    }
+    events.sort_unstable();
+    let mut level = 0i64;
+    let mut peak = 0i64;
+    let mut area = 0.0f64;
+    let mut last_t = events[0].0;
+    let t0 = events[0].0;
+    for (t, d) in events {
+        area += level as f64 * (t - last_t) as f64;
+        last_t = t;
+        level += d;
+        peak = peak.max(level);
+    }
+    let span = (last_t - t0).max(1) as f64;
+    BufferOccupancy {
+        peak_pkts: peak as u64,
+        mean_pkts: area / span,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::VideoSpec;
+
+    /// Build a trace with 10 pkts/s where packet arrivals are given as
+    /// (seq, delay in ms after generation) pairs; others never arrive.
+    fn trace(arrivals: &[(u64, u64)], n: u64) -> StreamTrace {
+        let mut t = StreamTrace::new(VideoSpec::new(10.0), 1_000_000_000_000);
+        for i in 0..n {
+            t.on_generated(i, i * 100_000_000);
+        }
+        for &(seq, delay_ms) in arrivals {
+            let gen = seq * 100_000_000;
+            t.on_arrival(seq, gen + delay_ms * 1_000_000, 0);
+        }
+        t
+    }
+
+    #[test]
+    fn all_on_time_gives_zero() {
+        let arrivals: Vec<(u64, u64)> = (0..50).map(|i| (i, 100)).collect();
+        let t = trace(&arrivals, 50);
+        assert_eq!(late_fraction_playback(t.records(), 1.0), 0.0);
+        assert_eq!(late_fraction_arrival_order(t.records(), 10.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn playback_order_counts_exactly_the_late_ones() {
+        // Packet 3 arrives 2.5 s after generation; others 0.1 s.
+        let mut arrivals: Vec<(u64, u64)> = (0..10).map(|i| (i, 100)).collect();
+        arrivals[3] = (3, 2_500);
+        let t = trace(&arrivals, 10);
+        // τ = 1 s: only packet 3 is late.
+        let f = late_fraction_playback(t.records(), 1.0);
+        assert!((f - 0.1).abs() < 1e-12);
+        // τ = 3 s: none late.
+        assert_eq!(late_fraction_playback(t.records(), 3.0), 0.0);
+    }
+
+    #[test]
+    fn missing_packets_are_late_in_both_orders() {
+        let arrivals: Vec<(u64, u64)> = (0..9).map(|i| (i, 100)).collect();
+        let t = trace(&arrivals, 10); // packet 9 never arrives
+        assert!((late_fraction_playback(t.records(), 5.0) - 0.1).abs() < 1e-12);
+        assert!((late_fraction_arrival_order(t.records(), 10.0, 5.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrival_order_forgives_swaps_of_on_time_packets() {
+        // Packets 0 and 1 arrive swapped but both early: in arrival order
+        // neither is late (the paper's Case 1).
+        let arrivals = [(1u64, 10u64), (0, 150)];
+        let t = trace(&arrivals, 2);
+        assert_eq!(late_fraction_arrival_order(t.records(), 10.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn report_required_startup_delay() {
+        let mut arrivals: Vec<(u64, u64)> = (0..100).map(|i| (i, 100)).collect();
+        arrivals[7] = (7, 1_500); // needs τ ≥ 1.5 s
+        let t = trace(&arrivals, 100);
+        let rep = LatenessReport::from_trace(&t, &[1.0, 2.0, 4.0]);
+        assert_eq!(rep.required_startup_delay(0.005), Some(2.0));
+        assert_eq!(rep.required_startup_delay(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn empty_trace_is_not_late() {
+        let t = StreamTrace::new(VideoSpec::new(10.0), 0);
+        assert_eq!(late_fraction_playback(t.records(), 1.0), 0.0);
+    }
+
+    #[test]
+    fn occupancy_counts_buffered_packets() {
+        // 10 pkt/s; every packet arrives 50 ms after generation; τ = 1 s →
+        // each packet buffered for 0.95 s; ~9-10 packets in flight at once.
+        let arrivals: Vec<(u64, u64)> = (0..100).map(|i| (i, 50)).collect();
+        let t = trace(&arrivals, 100);
+        let occ = buffer_occupancy(t.records(), 1.0);
+        assert!((9..=10).contains(&occ.peak_pkts), "peak {}", occ.peak_pkts);
+        assert!(
+            occ.mean_pkts > 7.0 && occ.mean_pkts < 10.5,
+            "mean {}",
+            occ.mean_pkts
+        );
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_mu_tau_in_live_traces() {
+        // §2.1: arrivals can't outrun generation, so occupancy ≤ µτ.
+        let arrivals: Vec<(u64, u64)> = (0..200).map(|i| (i, (i % 7) * 30)).collect();
+        let t = trace(&arrivals, 200);
+        for tau in [0.5, 1.0, 3.0] {
+            let occ = buffer_occupancy(t.records(), tau);
+            let cap = (10.0 * tau).ceil() as u64;
+            assert!(occ.peak_pkts <= cap, "τ={tau}: {} > {cap}", occ.peak_pkts);
+        }
+    }
+
+    #[test]
+    fn late_packets_do_not_occupy_the_buffer() {
+        let arrivals: Vec<(u64, u64)> = (0..10).map(|i| (i, 5_000)).collect(); // all 5 s late
+        let t = trace(&arrivals, 10);
+        let occ = buffer_occupancy(t.records(), 1.0);
+        assert_eq!(occ.peak_pkts, 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Per-packet delivery traces.
+//!
+//! Both backends (simulator and tokio implementation) record, for every video
+//! packet, when it was generated and when the client application received it.
+//! All of the paper's empirical metrics are computed from such traces.
+
+use crate::spec::VideoSpec;
+
+/// Delivery record for one video packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// Stream sequence number (0-based).
+    pub seq: u64,
+    /// Generation time at the server, ns.
+    pub gen_ns: u64,
+    /// Arrival time at the client application (after in-order TCP delivery
+    /// on its path), ns. `None` if the packet never arrived before the
+    /// experiment ended.
+    pub arrival_ns: Option<u64>,
+    /// Index of the path that carried the packet.
+    pub path: u8,
+}
+
+/// A complete delivery trace for one streaming run.
+#[derive(Debug, Clone)]
+pub struct StreamTrace {
+    video: VideoSpec,
+    records: Vec<DeliveryRecord>,
+    /// End of the observation window, ns (used to discard the tail whose
+    /// packets had no chance to arrive).
+    end_ns: u64,
+}
+
+impl StreamTrace {
+    /// Create an empty trace for a run of the given video. `end_ns` is the
+    /// experiment end time.
+    pub fn new(video: VideoSpec, end_ns: u64) -> Self {
+        Self {
+            video,
+            records: Vec::new(),
+            end_ns,
+        }
+    }
+
+    /// Record the generation of packet `seq` at `gen_ns`. Records must be
+    /// appended in sequence order.
+    ///
+    /// # Panics
+    /// Panics if `seq` is not exactly the next expected sequence number.
+    pub fn on_generated(&mut self, seq: u64, gen_ns: u64) {
+        assert_eq!(seq as usize, self.records.len(), "generation out of order");
+        self.records.push(DeliveryRecord {
+            seq,
+            gen_ns,
+            arrival_ns: None,
+            path: 0,
+        });
+    }
+
+    /// Record the arrival of packet `seq` at the client via `path`.
+    /// Later duplicates are ignored (first arrival wins).
+    pub fn on_arrival(&mut self, seq: u64, arrival_ns: u64, path: u8) {
+        let rec = &mut self.records[seq as usize];
+        if rec.arrival_ns.is_none() {
+            rec.arrival_ns = Some(arrival_ns);
+            rec.path = path;
+        }
+    }
+
+    /// The video this trace belongs to.
+    pub fn video(&self) -> VideoSpec {
+        self.video
+    }
+
+    /// All records, in sequence order.
+    pub fn records(&self) -> &[DeliveryRecord] {
+        &self.records
+    }
+
+    /// End of the observation window, ns.
+    pub fn end_ns(&self) -> u64 {
+        self.end_ns
+    }
+
+    /// Number of packets generated.
+    pub fn generated(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Number of packets that arrived within the window.
+    pub fn delivered(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.arrival_ns.is_some())
+            .count() as u64
+    }
+
+    /// Fraction of the delivered packets carried by each path. This is how
+    /// we observe DMP's implicit bandwidth inference: the share should track
+    /// the paths' achievable throughputs.
+    pub fn path_shares(&self, paths: usize) -> Vec<f64> {
+        let mut counts = vec![0u64; paths];
+        let mut total = 0u64;
+        for r in &self.records {
+            if r.arrival_ns.is_some() {
+                counts[r.path as usize] += 1;
+                total += 1;
+            }
+        }
+        if total == 0 {
+            return vec![0.0; paths];
+        }
+        counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+
+    /// Records restricted to packets generated early enough that a packet
+    /// could still be `max_tau_s` late and be observed before the window end.
+    /// Keeps lateness statistics unbiased by end-of-run truncation.
+    pub fn stable_records(&self, max_tau_s: f64) -> &[DeliveryRecord] {
+        let margin_ns = ((max_tau_s + 5.0) * 1e9) as u64;
+        let cutoff = self.end_ns.saturating_sub(margin_ns);
+        let n = self.records.partition_point(|r| r.gen_ns < cutoff);
+        &self.records[..n]
+    }
+}
+
+impl StreamTrace {
+    /// Export the trace as CSV (`seq,gen_ns,arrival_ns,path`; empty
+    /// `arrival_ns` for packets that never arrived) for external analysis
+    /// or plotting.
+    pub fn write_csv(&self, mut w: impl std::io::Write) -> std::io::Result<()> {
+        writeln!(w, "seq,gen_ns,arrival_ns,path")?;
+        for r in &self.records {
+            match r.arrival_ns {
+                Some(a) => writeln!(w, "{},{},{},{}", r.seq, r.gen_ns, a, r.path)?,
+                None => writeln!(w, "{},{},,", r.seq, r.gen_ns)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse a trace previously written by [`StreamTrace::write_csv`].
+    /// `video` and `end_ns` are not stored in the CSV and must be supplied.
+    pub fn read_csv(
+        video: VideoSpec,
+        end_ns: u64,
+        r: impl std::io::BufRead,
+    ) -> std::io::Result<Self> {
+        let mut trace = StreamTrace::new(video, end_ns);
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        for (i, line) in r.lines().enumerate() {
+            let line = line?;
+            if i == 0 || line.trim().is_empty() {
+                continue; // header / trailing newline
+            }
+            let mut f = line.split(',');
+            let seq: u64 = f
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| bad("bad seq"))?;
+            let gen_ns: u64 = f
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| bad("bad gen_ns"))?;
+            trace.on_generated(seq, gen_ns);
+            let arrival = f.next().ok_or_else(|| bad("missing arrival"))?;
+            if !arrival.is_empty() {
+                let a: u64 = arrival.parse().map_err(|_| bad("bad arrival_ns"))?;
+                let path: u8 = f
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("bad path"))?;
+                trace.on_arrival(seq, a, path);
+            }
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> VideoSpec {
+        VideoSpec::new(10.0) // 100 ms between packets
+    }
+
+    #[test]
+    fn trace_records_generation_and_arrival() {
+        let mut t = StreamTrace::new(spec(), 10_000_000_000);
+        t.on_generated(0, 0);
+        t.on_generated(1, 100_000_000);
+        t.on_arrival(1, 250_000_000, 1);
+        t.on_arrival(0, 300_000_000, 0);
+        assert_eq!(t.generated(), 2);
+        assert_eq!(t.delivered(), 2);
+        assert_eq!(t.records()[1].path, 1);
+    }
+
+    #[test]
+    fn first_arrival_wins() {
+        let mut t = StreamTrace::new(spec(), 10_000_000_000);
+        t.on_generated(0, 0);
+        t.on_arrival(0, 200, 0);
+        t.on_arrival(0, 100, 1);
+        assert_eq!(t.records()[0].arrival_ns, Some(200));
+        assert_eq!(t.records()[0].path, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "generation out of order")]
+    fn generation_must_be_sequential() {
+        let mut t = StreamTrace::new(spec(), 1);
+        t.on_generated(1, 0);
+    }
+
+    #[test]
+    fn path_shares_sum_to_one() {
+        let mut t = StreamTrace::new(spec(), 10_000_000_000);
+        for i in 0..10 {
+            t.on_generated(i, i * 100_000_000);
+            t.on_arrival(i, i * 100_000_000 + 50, (i % 2) as u8);
+        }
+        let shares = t.path_shares(2);
+        assert!((shares[0] - 0.5).abs() < 1e-12);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let mut t = StreamTrace::new(spec(), 10_000_000_000);
+        for i in 0..5 {
+            t.on_generated(i, i * 100_000_000);
+        }
+        t.on_arrival(0, 120_000_000, 0);
+        t.on_arrival(2, 450_000_000, 1);
+        // packet 1, 3, 4 never arrive
+        let mut csv = Vec::new();
+        t.write_csv(&mut csv).unwrap();
+        let back = StreamTrace::read_csv(spec(), 10_000_000_000, csv.as_slice()).unwrap();
+        assert_eq!(back.records(), t.records());
+        assert_eq!(back.delivered(), 2);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        let res = StreamTrace::read_csv(spec(), 1, "seq,gen\nnot-a-number,0,,\n".as_bytes());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn stable_records_drops_tail() {
+        let mut t = StreamTrace::new(spec(), 20_000_000_000);
+        for i in 0..200 {
+            t.on_generated(i, i * 100_000_000);
+        }
+        // max τ = 4 s → margin 9 s → cutoff at 11 s → 110 packets kept.
+        assert_eq!(t.stable_records(4.0).len(), 110);
+    }
+}

@@ -1,0 +1,169 @@
+//! `dmp-client` — receive a DMP-striped live stream on multiple TCP ports,
+//! reassemble it, and report the fraction of late packets for a set of
+//! startup delays.
+//!
+//! ```sh
+//! dmp-client --listen 9001,9002 --mu 50 --tau 2,4,6,8
+//! ```
+//!
+//! Clock handling: server timestamps ride in the frames but the two hosts'
+//! clocks are not synchronised, so the client anchors the playback schedule
+//! at the **minimum observed one-way latency** (the earliest packet is
+//! assumed "on time"); all lateness is measured relative to that anchor.
+//! This matches how the paper post-processes its tcpdump traces.
+
+use std::sync::Arc;
+
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use tokio::io::AsyncReadExt;
+use tokio::net::TcpListener;
+use tokio::time::Instant;
+
+use dmp_live::wire::{decode, DecodeError};
+
+#[derive(Debug)]
+struct Args {
+    ports: Vec<u16>,
+    mu: f64,
+    taus: Vec<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ports: vec![],
+        mu: 50.0,
+        taus: vec![2.0, 4.0, 6.0, 8.0, 10.0],
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().ok_or_else(|| format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--listen" => {
+                args.ports = val()?
+                    .split(',')
+                    .map(|p| p.parse().map_err(|e| format!("bad port: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--mu" => args.mu = val()?.parse().map_err(|e| format!("--mu: {e}"))?,
+            "--tau" => {
+                args.taus = val()?
+                    .split(',')
+                    .map(|t| t.parse().map_err(|e| format!("bad tau: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--help" | "-h" => {
+                println!("usage: dmp-client --listen PORT[,PORT…] [--mu PKTS_PER_S] [--tau S,S,…]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.ports.is_empty() {
+        return Err("--listen is required (comma-separated list of ports)".into());
+    }
+    Ok(args)
+}
+
+/// (seq, server gen_ns, client arrival_ns, path)
+type Record = (u64, u64, u64, usize);
+
+#[tokio::main]
+async fn main() -> std::io::Result<()> {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "listening on ports {:?} (µ = {} pkt/s)…",
+        args.ports, args.mu
+    );
+
+    let records: Arc<Mutex<Vec<Record>>> = Arc::new(Mutex::new(Vec::new()));
+    let epoch = Instant::now();
+    let mut readers = Vec::new();
+    for (path, &port) in args.ports.iter().enumerate() {
+        let listener = TcpListener::bind(("0.0.0.0", port)).await?;
+        let records = Arc::clone(&records);
+        readers.push(tokio::spawn(async move {
+            let (mut sock, peer) = listener.accept().await?;
+            println!("path {path}: accepted {peer}");
+            sock.set_nodelay(true)?;
+            let mut buf = BytesMut::with_capacity(64 * 1024);
+            let mut tmp = vec![0u8; 16 * 1024];
+            let mut count = 0u64;
+            loop {
+                match sock.read(&mut tmp).await {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        buf.extend_from_slice(&tmp[..n]);
+                        loop {
+                            match decode(&mut buf) {
+                                Ok(frame) => {
+                                    let now = epoch.elapsed().as_nanos() as u64;
+                                    records.lock().push((frame.seq, frame.gen_ns, now, path));
+                                    count += 1;
+                                }
+                                Err(DecodeError::Incomplete) => break,
+                                Err(DecodeError::Corrupt) => {
+                                    eprintln!("path {path}: corrupt stream");
+                                    return Ok::<u64, std::io::Error>(count);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(count)
+        }));
+    }
+    for (path, r) in readers.into_iter().enumerate() {
+        match r.await {
+            Ok(Ok(n)) => println!("path {path}: received {n} packets"),
+            other => eprintln!("path {path}: reader error: {other:?}"),
+        }
+    }
+
+    // Post-process: anchor the schedule at the minimum one-way latency.
+    let records = records.lock();
+    if records.is_empty() {
+        println!("no packets received");
+        return Ok(());
+    }
+    let offset = records
+        .iter()
+        .map(|&(_, gen, arr, _)| arr as i128 - gen as i128)
+        .min()
+        .expect("non-empty");
+    let total = records.len() as f64;
+    let max_seq = records.iter().map(|r| r.0).max().expect("non-empty");
+    println!(
+        "\nreceived {} packets (highest seq {max_seq}); min one-way skew anchor applied",
+        records.len()
+    );
+    let mut shares = std::collections::BTreeMap::new();
+    for r in records.iter() {
+        *shares.entry(r.3).or_insert(0u64) += 1;
+    }
+    for (path, n) in shares {
+        println!(
+            "path {path}: {:.1}% of the stream",
+            100.0 * n as f64 / total
+        );
+    }
+    println!("\nstartup delay → fraction of late packets:");
+    for &tau in &args.taus {
+        let tau_ns = (tau * 1e9) as i128;
+        let late = records
+            .iter()
+            .filter(|&&(_, gen, arr, _)| arr as i128 - gen as i128 - offset > tau_ns)
+            .count() as f64
+            + (max_seq + 1) as f64
+            - total; // packets never received are late
+        println!("  τ = {tau:>5.1} s → {:.3e}", late / (max_seq + 1) as f64);
+    }
+    Ok(())
+}

@@ -1,0 +1,158 @@
+//! `dmp-server` — stream a live CBR video over multiple TCP connections with
+//! DMP scheduling (one connection per path; backpressure-driven striping).
+//!
+//! ```sh
+//! dmp-server --connect 10.0.0.2:9001,10.0.1.2:9002 --mu 50 --seconds 60
+//! ```
+//!
+//! Each address should be reached over a *different* network path
+//! (multihoming, different interfaces, or the `dmp-client`'s ports bridged
+//! through emulators/netem). The server needs no knowledge of path
+//! bandwidths: senders pull from a shared queue whenever their socket
+//! accepts more data.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use tokio::io::AsyncWriteExt;
+use tokio::net::TcpSocket;
+use tokio::sync::Notify;
+use tokio::time::Instant;
+
+use dmp_live::wire::{encode, Frame};
+
+#[derive(Debug)]
+struct Args {
+    connect: Vec<String>,
+    mu: f64,
+    packet_bytes: usize,
+    seconds: f64,
+    sndbuf: u32,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        connect: vec![],
+        mu: 50.0,
+        packet_bytes: 1448,
+        seconds: 30.0,
+        sndbuf: 16 * 1024,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().ok_or_else(|| format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--connect" => args.connect = val()?.split(',').map(str::to_string).collect(),
+            "--mu" => args.mu = val()?.parse().map_err(|e| format!("--mu: {e}"))?,
+            "--packet-bytes" => {
+                args.packet_bytes = val()?.parse().map_err(|e| format!("--packet-bytes: {e}"))?
+            }
+            "--seconds" => args.seconds = val()?.parse().map_err(|e| format!("--seconds: {e}"))?,
+            "--sndbuf" => args.sndbuf = val()?.parse().map_err(|e| format!("--sndbuf: {e}"))?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: dmp-server --connect HOST:PORT[,HOST:PORT…] [--mu PKTS_PER_S] \
+                     [--packet-bytes N] [--seconds S] [--sndbuf BYTES]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.connect.is_empty() {
+        return Err("--connect is required (comma-separated list of client endpoints)".into());
+    }
+    Ok(args)
+}
+
+#[derive(Default)]
+struct Queue {
+    q: Mutex<VecDeque<Frame>>,
+    notify: Notify,
+    done: std::sync::atomic::AtomicBool,
+}
+
+#[tokio::main]
+async fn main() -> std::io::Result<()> {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let packets = (args.seconds * args.mu) as u64;
+    println!(
+        "streaming {} packets ({} pkt/s × {:.0} s, {} B each ≈ {:.0} kbps) over {} path(s)",
+        packets,
+        args.mu,
+        args.seconds,
+        args.packet_bytes,
+        args.mu * args.packet_bytes as f64 * 8.0 / 1e3,
+        args.connect.len()
+    );
+
+    let queue = Arc::new(Queue::default());
+    let mut senders = Vec::new();
+    for (k, addr) in args.connect.iter().enumerate() {
+        let addr: std::net::SocketAddr = addr
+            .parse()
+            .unwrap_or_else(|e| panic!("bad address {addr}: {e}"));
+        let socket = TcpSocket::new_v4()?;
+        socket.set_send_buffer_size(args.sndbuf)?;
+        let mut sock = socket.connect(addr).await?;
+        sock.set_nodelay(true)?;
+        println!("path {k}: connected to {addr}");
+        let queue = Arc::clone(&queue);
+        let packet_bytes = args.packet_bytes;
+        senders.push(tokio::spawn(async move {
+            let mut out = BytesMut::with_capacity(packet_bytes);
+            let mut sent = 0u64;
+            loop {
+                let frame = { queue.q.lock().pop_front() };
+                match frame {
+                    Some(f) => {
+                        out.clear();
+                        encode(&f, packet_bytes, &mut out);
+                        if sock.write_all(&out).await.is_err() {
+                            break;
+                        }
+                        sent += 1;
+                    }
+                    None if queue.done.load(std::sync::atomic::Ordering::SeqCst) => break,
+                    None => queue.notify.notified().await,
+                }
+            }
+            let _ = sock.shutdown().await;
+            sent
+        }));
+    }
+
+    // CBR generator.
+    let epoch = Instant::now();
+    let interval = Duration::from_secs_f64(1.0 / args.mu);
+    let mut next = epoch;
+    for seq in 0..packets {
+        next += interval;
+        tokio::time::sleep_until(next).await;
+        let gen_ns = epoch.elapsed().as_nanos() as u64;
+        queue.q.lock().push_back(Frame { seq, gen_ns });
+        queue.notify.notify_waiters();
+    }
+    queue.done.store(true, std::sync::atomic::Ordering::SeqCst);
+    queue.notify.notify_waiters();
+
+    for (k, h) in senders.into_iter().enumerate() {
+        if let Ok(sent) = h.await {
+            println!(
+                "path {k}: sent {sent} packets ({:.0}%)",
+                100.0 * sent as f64 / packets as f64
+            );
+        }
+    }
+    println!("done in {:.1} s", epoch.elapsed().as_secs_f64());
+    Ok(())
+}

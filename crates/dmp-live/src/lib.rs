@@ -1,0 +1,28 @@
+//! `dmp-live` — DMP-streaming over **real TCP sockets** with tokio,
+//! reproducing the paper's Section 6 Internet experiments in-process.
+//!
+//! The paper implemented the scheme on Linux and streamed from a university
+//! server to PlanetLab/ADSL hosts. Without multihomed Internet hosts (or
+//! root for netem), this crate substitutes an in-process [`emulator`]: a
+//! shaping proxy per path with configurable rate (optionally time-varying),
+//! propagation delay, and a bounded queue. Everything the scheme itself
+//! touches is real: kernel sockets, kernel send buffers, backpressure-driven
+//! pull scheduling, cross-path reassembly.
+//!
+//! * [`wire`] — fixed-size packet framing (1448-byte frames as in the paper);
+//! * [`emulator`] — the bandwidth/delay path emulator;
+//! * [`stream`] — server (shared queue + per-path sender tasks) and client
+//!   (per-path readers recording a delivery trace);
+//! * [`experiment`] — the Fig. 7 validation harness: run, measure late
+//!   fractions, estimate effective path parameters, compare to the model.
+
+#![warn(missing_docs)]
+
+pub mod emulator;
+pub mod experiment;
+pub mod stream;
+pub mod wire;
+
+pub use emulator::{PathEmulator, PathProfile};
+pub use experiment::{model_prediction, run_experiment, LiveExperiment, LiveRun};
+pub use stream::{run_stream, LiveConfig, LiveOutput};

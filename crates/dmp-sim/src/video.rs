@@ -1,0 +1,252 @@
+//! Video applications for the simulator: the DMP-streaming server, the
+//! static-streaming server, and the recording client.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dmp_core::scheme::{DynamicQueue, StaticSplitter, StreamPacket};
+use dmp_core::spec::VideoSpec;
+use dmp_core::trace::StreamTrace;
+use netsim::packet::AppChunk;
+use netsim::{App, FlowId, SimApi, SimTime};
+
+/// Shared, interiorly mutable delivery trace: written by both the server
+/// (generation) and the client (arrivals).
+pub type SharedTrace = Rc<RefCell<StreamTrace>>;
+
+/// Create a fresh shared trace for a run ending at `end_ns`.
+pub fn shared_trace(video: VideoSpec, end_ns: SimTime) -> SharedTrace {
+    Rc::new(RefCell::new(StreamTrace::new(video, end_ns)))
+}
+
+fn chunk_of(p: StreamPacket) -> AppChunk {
+    AppChunk {
+        stream_seq: p.seq,
+        gen_ns: p.gen_ns,
+    }
+}
+
+/// The DMP-streaming server (Fig. 2 of the paper): a CBR generator feeding a
+/// single shared queue; every TCP sender pulls from the head whenever its
+/// send buffer has room.
+pub struct DmpServer {
+    flows: Vec<FlowId>,
+    queue: DynamicQueue,
+    video: VideoSpec,
+    trace: SharedTrace,
+    start_at: SimTime,
+    stop_after: u64,
+    interval: SimTime,
+    next_seq: u64,
+    rr: usize,
+}
+
+impl DmpServer {
+    /// A server striping over `flows`, generating from `start_at` until
+    /// `stop_after` packets have been produced.
+    pub fn new(
+        flows: Vec<FlowId>,
+        video: VideoSpec,
+        trace: SharedTrace,
+        start_at: SimTime,
+        stop_after: u64,
+    ) -> Self {
+        let interval = netsim::secs(video.gen_interval_s());
+        Self {
+            flows,
+            queue: DynamicQueue::new(),
+            video,
+            trace,
+            start_at,
+            stop_after,
+            interval,
+            next_seq: 0,
+            rr: 0,
+        }
+    }
+
+    /// One sender takes the lock and drains the head of the queue until its
+    /// buffer fills; then the next sender gets a chance (the rotation models
+    /// which blocked sender wins the lock first on a generation event).
+    fn fill(&mut self, api: &mut SimApi<'_>, start: usize) {
+        let k = self.flows.len();
+        for i in 0..k {
+            let flow = self.flows[(start + i) % k];
+            loop {
+                let space = api.free_space(flow);
+                if space == 0 || self.queue.is_empty() {
+                    break;
+                }
+                for p in self.queue.pull(space) {
+                    let ok = api.push_chunk(flow, chunk_of(p));
+                    debug_assert!(ok, "space was checked");
+                }
+            }
+            if self.queue.is_empty() {
+                break;
+            }
+        }
+    }
+
+    fn flow_index(&self, flow: FlowId) -> usize {
+        self.flows
+            .iter()
+            .position(|&f| f == flow)
+            .expect("owned flow")
+    }
+}
+
+impl App for DmpServer {
+    fn start(&mut self, api: &mut SimApi<'_>) {
+        let _ = self.video;
+        for &f in &self.flows {
+            api.own_flow(f);
+        }
+        api.schedule_in(self.start_at, 0);
+    }
+
+    fn on_timer(&mut self, api: &mut SimApi<'_>, _tag: u64) {
+        if self.next_seq >= self.stop_after {
+            return;
+        }
+        let now = api.now();
+        self.trace.borrow_mut().on_generated(self.next_seq, now);
+        self.queue.push(StreamPacket {
+            seq: self.next_seq,
+            gen_ns: now,
+        });
+        self.next_seq += 1;
+        let start = self.rr;
+        self.rr = (self.rr + 1) % self.flows.len();
+        self.fill(api, start);
+        api.schedule_in(self.interval, 0);
+    }
+
+    fn on_send_space(&mut self, api: &mut SimApi<'_>, flow: FlowId) {
+        // The sender that freed space grabs the queue lock first.
+        let k = self.flow_index(flow);
+        self.fill(api, k);
+    }
+}
+
+/// The static-streaming baseline (Section 7.4): packets are pre-assigned to
+/// paths by fixed weights; each sender only ever pulls from its own queue.
+pub struct StaticServer {
+    flows: Vec<FlowId>,
+    splitter: StaticSplitter,
+    trace: SharedTrace,
+    start_at: SimTime,
+    stop_after: u64,
+    interval: SimTime,
+    next_seq: u64,
+}
+
+impl StaticServer {
+    /// A static server with per-path `weights` (long-term average path
+    /// bandwidths, measured beforehand — equal for homogeneous paths).
+    pub fn new(
+        flows: Vec<FlowId>,
+        weights: &[f64],
+        video: VideoSpec,
+        trace: SharedTrace,
+        start_at: SimTime,
+        stop_after: u64,
+    ) -> Self {
+        assert_eq!(flows.len(), weights.len());
+        let interval = netsim::secs(video.gen_interval_s());
+        Self {
+            flows,
+            splitter: StaticSplitter::new(weights),
+            trace,
+            start_at,
+            stop_after,
+            interval,
+            next_seq: 0,
+        }
+    }
+
+    fn fill_path(&mut self, api: &mut SimApi<'_>, k: usize) {
+        loop {
+            let space = api.free_space(self.flows[k]);
+            if space == 0 || self.splitter.queued(k) == 0 {
+                break;
+            }
+            for p in self.splitter.pull(k, space) {
+                let ok = api.push_chunk(self.flows[k], chunk_of(p));
+                debug_assert!(ok, "space was checked");
+            }
+        }
+    }
+}
+
+impl App for StaticServer {
+    fn start(&mut self, api: &mut SimApi<'_>) {
+        for &f in &self.flows {
+            api.own_flow(f);
+        }
+        api.schedule_in(self.start_at, 0);
+    }
+
+    fn on_timer(&mut self, api: &mut SimApi<'_>, _tag: u64) {
+        if self.next_seq >= self.stop_after {
+            return;
+        }
+        let now = api.now();
+        self.trace.borrow_mut().on_generated(self.next_seq, now);
+        let k = self.splitter.push(StreamPacket {
+            seq: self.next_seq,
+            gen_ns: now,
+        });
+        self.next_seq += 1;
+        self.fill_path(api, k);
+        api.schedule_in(self.interval, 0);
+    }
+
+    fn on_send_space(&mut self, api: &mut SimApi<'_>, flow: FlowId) {
+        let k = self
+            .flows
+            .iter()
+            .position(|&f| f == flow)
+            .expect("owned flow");
+        self.fill_path(api, k);
+    }
+}
+
+/// The client: subscribes to every path's sink and records arrival times
+/// into the shared trace (reassembly order does not matter for the metrics;
+/// `dmp_core::metrics` evaluates both playback- and arrival-order lateness).
+pub struct VideoClient {
+    trace: SharedTrace,
+    path_of: HashMap<FlowId, u8>,
+}
+
+impl VideoClient {
+    /// A client receiving `flows`, where `flows[k]` is path `k`.
+    pub fn new(flows: &[FlowId], trace: SharedTrace) -> Self {
+        let path_of = flows
+            .iter()
+            .enumerate()
+            .map(|(k, &f)| (f, k as u8))
+            .collect();
+        Self { trace, path_of }
+    }
+}
+
+impl App for VideoClient {
+    fn start(&mut self, api: &mut SimApi<'_>) {
+        let flows: Vec<FlowId> = self.path_of.keys().copied().collect();
+        for f in flows {
+            api.receive_flow(f);
+        }
+    }
+
+    fn on_receive(&mut self, api: &mut SimApi<'_>, flow: FlowId, chunks: &[AppChunk]) {
+        let path = self.path_of[&flow];
+        let now = api.now();
+        let mut trace = self.trace.borrow_mut();
+        for c in chunks {
+            trace.on_arrival(c.stream_seq, now, path);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! `netsim` — a discrete-event, packet-level network simulator in the spirit
+//! of *ns-2*, built as the simulation substrate for reproducing *Multipath
+//! Live Streaming via TCP* (CoNEXT 2007).
+//!
+//! What it provides:
+//!
+//! * an event-driven engine with integer-nanosecond time ([`sim::Sim`]);
+//! * links with finite bandwidth, propagation delay, and drop-tail FIFO
+//!   queues ([`link`]), where all loss happens — as in the paper's setups;
+//! * static routing over arbitrary topologies ([`node`]);
+//! * TCP Reno with finite socket send buffers, delayed ACKs, fast
+//!   retransmit/recovery, and exponentially backed-off retransmission
+//!   timeouts ([`tcp`]);
+//! * background traffic: backlogged FTP and on/off HTTP sessions ([`apps`]);
+//! * an application hook trait ([`app::App`]) through which streaming
+//!   schedulers (in the `dmp-sim` crate) drive their flows.
+//!
+//! # Example: one FTP through a bottleneck
+//!
+//! ```
+//! use netsim::{app::App, link::LinkSpec, sim::{Sim, SimApi}, tcp::{SinkConfig, TcpConfig}};
+//! use netsim::time::SECOND;
+//!
+//! struct Starter(u32);
+//! impl App for Starter {
+//!     fn start(&mut self, api: &mut SimApi<'_>) {
+//!         api.set_backlogged(self.0, None); // infinite data
+//!     }
+//! }
+//!
+//! let mut sim = Sim::new(42);
+//! let a = sim.add_node("server");
+//! let b = sim.add_node("client");
+//! let (fwd, rev) = sim.add_duplex(a, b, LinkSpec::from_table(2.0, 20.0, 30));
+//! sim.add_route(a, b, fwd);
+//! sim.add_route(b, a, rev);
+//! let flow = sim.add_flow(a, b, TcpConfig::default(), SinkConfig::default());
+//! sim.add_app(Box::new(Starter(flow)));
+//! sim.run_until(10 * SECOND);
+//! assert!(sim.sink(flow).stats.delivered > 500);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod apps;
+pub mod link;
+pub mod node;
+pub mod packet;
+pub mod red;
+pub mod sim;
+pub mod tcp;
+pub mod time;
+
+pub use app::App;
+pub use link::LinkSpec;
+pub use packet::{AppChunk, FlowId, LinkId, NodeId, Packet};
+pub use sim::{Sim, SimApi};
+pub use tcp::{SinkConfig, TcpConfig};
+pub use time::{millis, secs, to_secs, SimTime, SECOND};

@@ -1,0 +1,301 @@
+//! Unidirectional links: a transmitter serialising packets at a fixed
+//! bandwidth, a drop-tail FIFO queue in front of it, and a propagation delay.
+//!
+//! This mirrors ns-2's `SimpleLink` + `DropTail` queue, which is where all
+//! packet loss in the paper's simulations happens (buffer overflow at the
+//! bottleneck).
+
+use std::collections::VecDeque;
+
+use rand::Rng;
+
+use crate::packet::{NodeId, Packet, PacketKind};
+use crate::red::{RedParams, RedState, RedVerdict};
+use crate::time::SimTime;
+
+/// Static description of a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Transmission rate in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay.
+    pub delay: SimTime,
+    /// Drop-tail queue capacity, in packets (not counting the packet being
+    /// transmitted).
+    pub queue_pkts: usize,
+    /// Random (Bernoulli) loss applied to every offered packet, for fault
+    /// injection and controlled-loss experiments. 0 = lossless link.
+    pub random_loss: f64,
+    /// Optional RED active queue management (None = plain drop-tail, as in
+    /// all of the paper's experiments).
+    pub red: Option<RedParams>,
+}
+
+impl LinkSpec {
+    /// Convenience constructor from Mbps / ms / packets — the units used in
+    /// Table 1 of the paper.
+    pub fn from_table(bandwidth_mbps: f64, delay_ms: f64, queue_pkts: usize) -> Self {
+        Self {
+            bandwidth_bps: bandwidth_mbps * 1e6,
+            delay: crate::time::millis(delay_ms),
+            queue_pkts,
+            random_loss: 0.0,
+            red: None,
+        }
+    }
+
+    /// The same link with Bernoulli packet loss `p` applied on entry.
+    pub fn with_random_loss(self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss must be in [0,1)");
+        Self {
+            random_loss: p,
+            ..self
+        }
+    }
+
+    /// The same link with RED active queue management.
+    pub fn with_red(self, params: RedParams) -> Self {
+        Self {
+            red: Some(params),
+            ..self
+        }
+    }
+
+    /// Time to serialise `bytes` onto the wire, ns.
+    pub fn tx_time(&self, bytes: u32) -> SimTime {
+        (f64::from(bytes) * 8.0 / self.bandwidth_bps * 1e9).round() as SimTime
+    }
+}
+
+/// Counters kept per link.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkStats {
+    /// Packets accepted (transmitted or queued).
+    pub accepted: u64,
+    /// Packets dropped at the queue.
+    pub dropped: u64,
+    /// Data packets dropped (subset of `dropped`).
+    pub data_dropped: u64,
+    /// Bytes transmitted.
+    pub bytes_tx: u64,
+    /// Peak queue occupancy observed.
+    pub peak_queue: usize,
+    /// Sum of queue lengths sampled at packet arrivals (divide by
+    /// `queue_samples` for the arrival-averaged queue).
+    pub queue_len_sum: u64,
+    /// Number of arrival samples taken.
+    pub queue_samples: u64,
+}
+
+impl LinkStats {
+    /// Arrival-averaged queue length, packets.
+    pub fn mean_queue(&self) -> f64 {
+        if self.queue_samples == 0 {
+            0.0
+        } else {
+            self.queue_len_sum as f64 / self.queue_samples as f64
+        }
+    }
+}
+
+/// A unidirectional link. The simulator drives it: `offer` either starts a
+/// transmission (returns the packet to serialise) or queues/drops; on each
+/// transmission-done event, `tx_done` hands back the next packet to send.
+#[derive(Debug)]
+pub struct Link {
+    /// Static parameters.
+    pub spec: LinkSpec,
+    /// Node at the receiving end.
+    pub to: NodeId,
+    busy: bool,
+    q: VecDeque<Packet>,
+    red: Option<RedState>,
+    /// Statistics.
+    pub stats: LinkStats,
+}
+
+/// Outcome of offering a packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Offer {
+    /// The link was idle; start transmitting this packet now.
+    StartTx(Packet),
+    /// The packet was queued behind the current transmission.
+    Queued,
+    /// The queue was full; the packet is gone.
+    Dropped(Packet),
+}
+
+impl Link {
+    /// Create an idle link delivering to `to`.
+    pub fn new(spec: LinkSpec, to: NodeId) -> Self {
+        Self {
+            spec,
+            to,
+            busy: false,
+            q: VecDeque::new(),
+            red: spec.red.map(RedState::new),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Offer a packet for transmission. `rng` drives the link's Bernoulli
+    /// loss process (unused when `random_loss` is 0).
+    pub fn offer(&mut self, pkt: Packet, rng: &mut impl Rng) -> Offer {
+        self.stats.queue_len_sum += self.q.len() as u64;
+        self.stats.queue_samples += 1;
+        if self.spec.random_loss > 0.0 && rng.gen_range(0.0..1.0) < self.spec.random_loss {
+            self.stats.dropped += 1;
+            if pkt.kind == PacketKind::Data {
+                self.stats.data_dropped += 1;
+            }
+            return Offer::Dropped(pkt);
+        }
+        if let Some(red) = &mut self.red {
+            if red.on_arrival(self.q.len(), rng) == RedVerdict::Drop {
+                self.stats.dropped += 1;
+                if pkt.kind == PacketKind::Data {
+                    self.stats.data_dropped += 1;
+                }
+                return Offer::Dropped(pkt);
+            }
+        }
+        if !self.busy {
+            self.busy = true;
+            self.stats.accepted += 1;
+            self.stats.bytes_tx += u64::from(pkt.size_bytes);
+            Offer::StartTx(pkt)
+        } else if self.q.len() < self.spec.queue_pkts {
+            self.q.push_back(pkt);
+            self.stats.accepted += 1;
+            self.stats.peak_queue = self.stats.peak_queue.max(self.q.len());
+            Offer::Queued
+        } else {
+            self.stats.dropped += 1;
+            if pkt.kind == PacketKind::Data {
+                self.stats.data_dropped += 1;
+            }
+            Offer::Dropped(pkt)
+        }
+    }
+
+    /// The current transmission finished; returns the next queued packet to
+    /// serialise, if any (the link goes idle otherwise).
+    pub fn tx_done(&mut self) -> Option<Packet> {
+        debug_assert!(self.busy, "tx_done on idle link");
+        match self.q.pop_front() {
+            Some(pkt) => {
+                self.stats.bytes_tx += u64::from(pkt.size_bytes);
+                Some(pkt)
+            }
+            None => {
+                self.busy = false;
+                None
+            }
+        }
+    }
+
+    /// Packets currently queued (excluding the one in transmission).
+    pub fn queue_len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Is a transmission in progress?
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Average utilisation given total elapsed time.
+    pub fn utilization(&self, elapsed: SimTime) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        (self.stats.bytes_tx as f64 * 8.0)
+            / (self.spec.bandwidth_bps * crate::time::to_secs(elapsed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::AppChunk;
+
+    fn pkt(seq: u64) -> Packet {
+        Packet::data(0, seq, 1460, 0, 1, AppChunk::synthetic(seq, 0), false)
+    }
+
+    fn link(cap: usize) -> Link {
+        Link::new(LinkSpec::from_table(1.0, 10.0, cap), 1)
+    }
+
+    fn rng() -> rand::rngs::SmallRng {
+        use rand::SeedableRng;
+        rand::rngs::SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn tx_time_is_exact() {
+        let spec = LinkSpec::from_table(1.5, 0.0, 10);
+        // 1500 B at 1.5 Mbps = 8 ms.
+        assert_eq!(spec.tx_time(1500), 8_000_000);
+    }
+
+    #[test]
+    fn idle_link_starts_immediately() {
+        let mut l = link(2);
+        match l.offer(pkt(0), &mut rng()) {
+            Offer::StartTx(p) => assert_eq!(p.seq, 0),
+            other => panic!("expected StartTx, got {other:?}"),
+        }
+        assert!(l.is_busy());
+    }
+
+    #[test]
+    fn busy_link_queues_then_drops() {
+        let mut l = link(2);
+        assert!(matches!(l.offer(pkt(0), &mut rng()), Offer::StartTx(_)));
+        assert_eq!(l.offer(pkt(1), &mut rng()), Offer::Queued);
+        assert_eq!(l.offer(pkt(2), &mut rng()), Offer::Queued);
+        assert!(matches!(l.offer(pkt(3), &mut rng()), Offer::Dropped(_)));
+        assert_eq!(l.stats.dropped, 1);
+        assert_eq!(l.stats.data_dropped, 1);
+        assert_eq!(l.queue_len(), 2);
+    }
+
+    #[test]
+    fn tx_done_drains_fifo_then_idles() {
+        let mut l = link(2);
+        assert!(matches!(l.offer(pkt(0), &mut rng()), Offer::StartTx(_)));
+        l.offer(pkt(1), &mut rng());
+        l.offer(pkt(2), &mut rng());
+        assert_eq!(l.tx_done().map(|p| p.seq), Some(1));
+        assert_eq!(l.tx_done().map(|p| p.seq), Some(2));
+        assert_eq!(l.tx_done(), None);
+        assert!(!l.is_busy());
+    }
+
+    #[test]
+    fn peak_queue_tracked() {
+        let mut l = link(5);
+        l.offer(pkt(0), &mut rng());
+        for i in 1..=4 {
+            l.offer(pkt(i), &mut rng());
+        }
+        assert_eq!(l.stats.peak_queue, 4);
+    }
+
+    #[test]
+    fn random_loss_drops_at_configured_rate() {
+        let spec = LinkSpec::from_table(100.0, 1.0, 1000).with_random_loss(0.25);
+        let mut l = Link::new(spec, 1);
+        let mut r = rng();
+        let mut dropped = 0;
+        for i in 0..20_000 {
+            if matches!(l.offer(pkt(i), &mut r), Offer::Dropped(_)) {
+                dropped += 1;
+            }
+            while l.tx_done().is_some() {}
+        }
+        let rate = f64::from(dropped) / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "drop rate {rate}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Nodes and static routing.
+//!
+//! A node is a host or router with a routing table mapping destination nodes
+//! to outgoing links. Routes are installed explicitly by the topology
+//! builder; a default route covers the common "stub host" case.
+
+use std::collections::HashMap;
+
+use crate::packet::{LinkId, NodeId};
+
+/// A host or router.
+#[derive(Debug, Default)]
+pub struct Node {
+    routes: HashMap<NodeId, LinkId>,
+    default_route: Option<LinkId>,
+    /// Optional label for debugging/reports.
+    pub label: String,
+}
+
+impl Node {
+    /// Create an unlabelled node with no routes.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            routes: HashMap::new(),
+            default_route: None,
+            label: label.into(),
+        }
+    }
+
+    /// Install a route: packets destined to `dst` leave on `link`.
+    pub fn add_route(&mut self, dst: NodeId, link: LinkId) {
+        self.routes.insert(dst, link);
+    }
+
+    /// Install the default route used when no specific entry matches.
+    pub fn set_default_route(&mut self, link: LinkId) {
+        self.default_route = Some(link);
+    }
+
+    /// Next-hop link for a destination, if the node knows one.
+    pub fn route_to(&self, dst: NodeId) -> Option<LinkId> {
+        self.routes.get(&dst).copied().or(self.default_route)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specific_route_beats_default() {
+        let mut n = Node::new("r1");
+        n.set_default_route(9);
+        n.add_route(3, 4);
+        assert_eq!(n.route_to(3), Some(4));
+        assert_eq!(n.route_to(7), Some(9));
+    }
+
+    #[test]
+    fn no_route_is_none() {
+        let n = Node::new("h");
+        assert_eq!(n.route_to(1), None);
+    }
+}

@@ -1,0 +1,129 @@
+//! Packets and flow identifiers.
+
+use crate::time::SimTime;
+
+/// Index of a node in the simulator's arena.
+pub type NodeId = u32;
+
+/// Index of a (unidirectional) link in the simulator's arena.
+pub type LinkId = u32;
+
+/// Index of a flow (one TCP connection) in the simulator's arena.
+pub type FlowId = u32;
+
+/// TCP/IP header overhead added to every data packet, bytes.
+pub const HEADER_BYTES: u32 = 40;
+
+/// Size of a pure ACK packet, bytes.
+pub const ACK_BYTES: u32 = 40;
+
+/// Application-level payload metadata carried by a data packet: the video
+/// packet's stream sequence number and generation time. Background flows
+/// carry synthetic chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppChunk {
+    /// Stream-level sequence number (position/playback slot for video).
+    pub stream_seq: u64,
+    /// Generation time at the source, ns.
+    pub gen_ns: SimTime,
+}
+
+impl AppChunk {
+    /// A synthetic chunk for background traffic.
+    pub fn synthetic(seq: u64, now: SimTime) -> Self {
+        Self {
+            stream_seq: seq,
+            gen_ns: now,
+        }
+    }
+}
+
+/// What kind of packet this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// A TCP data segment; `seq` is the segment sequence number (counted in
+    /// whole segments, as ns-2 does).
+    Data,
+    /// A cumulative ACK; `seq` is the next expected segment.
+    Ack,
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packet {
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Data segment or ACK.
+    pub kind: PacketKind,
+    /// Segment number (Data) or cumulative ack (Ack), in segments.
+    pub seq: u64,
+    /// Total size on the wire, bytes.
+    pub size_bytes: u32,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload metadata (Data packets only).
+    pub chunk: Option<AppChunk>,
+    /// True if this is a retransmission.
+    pub is_retransmit: bool,
+}
+
+impl Packet {
+    /// Build a data segment.
+    pub fn data(
+        flow: FlowId,
+        seq: u64,
+        payload_bytes: u32,
+        src: NodeId,
+        dst: NodeId,
+        chunk: AppChunk,
+        is_retransmit: bool,
+    ) -> Self {
+        Self {
+            flow,
+            kind: PacketKind::Data,
+            seq,
+            size_bytes: payload_bytes + HEADER_BYTES,
+            src,
+            dst,
+            chunk: Some(chunk),
+            is_retransmit,
+        }
+    }
+
+    /// Build a cumulative ACK for `ack_seq`.
+    pub fn ack(flow: FlowId, ack_seq: u64, src: NodeId, dst: NodeId) -> Self {
+        Self {
+            flow,
+            kind: PacketKind::Ack,
+            seq: ack_seq,
+            size_bytes: ACK_BYTES,
+            src,
+            dst,
+            chunk: None,
+            is_retransmit: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_packet_includes_header() {
+        let p = Packet::data(0, 7, 1460, 1, 2, AppChunk::synthetic(7, 0), false);
+        assert_eq!(p.size_bytes, 1500);
+        assert_eq!(p.kind, PacketKind::Data);
+        assert!(p.chunk.is_some());
+    }
+
+    #[test]
+    fn ack_packet_is_small() {
+        let p = Packet::ack(0, 9, 2, 1);
+        assert_eq!(p.size_bytes, ACK_BYTES);
+        assert_eq!(p.kind, PacketKind::Ack);
+        assert!(p.chunk.is_none());
+    }
+}

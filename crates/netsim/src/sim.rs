@@ -1,0 +1,655 @@
+//! The discrete-event simulation engine.
+//!
+//! The simulator owns flat arenas of nodes, links, TCP endpoints, and
+//! applications; events reference entities by index, so dispatch is a match
+//! plus an array access — no trait objects on the hot path (applications are
+//! the exception; they are boxed but called out of band).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::app::App;
+use crate::link::{Link, LinkSpec, Offer};
+use crate::node::Node;
+use crate::packet::{AppChunk, FlowId, LinkId, NodeId, Packet, PacketKind};
+use crate::tcp::{SinkConfig, TcpConfig, TcpSender, TcpSink};
+use crate::time::SimTime;
+
+/// Index of an application in the simulator's arena.
+pub type AppId = u32;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A link finished serialising a packet.
+    LinkTxDone(LinkId),
+    /// A packet arrives at a node (after propagation).
+    Arrival(NodeId),
+    /// A sender's retransmission timer.
+    SenderTimer { sender: u32, gen: u64 },
+    /// A sink's delayed-ACK timer.
+    SinkTimer { sink: u32, gen: u64 },
+    /// An application timer with a user tag.
+    AppTimer { app: AppId, tag: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+    /// Packet payload for Arrival events.
+    pkt: Option<Packet>,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// One TCP connection: sender and sink endpoints plus app subscriptions.
+#[derive(Debug)]
+struct Flow {
+    sender: u32,
+    sink: u32,
+    owner_app: Option<AppId>,
+    receiver_app: Option<AppId>,
+}
+
+/// Per-flow counters maintained by the engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowCounters {
+    /// Data packets of this flow dropped at any queue.
+    pub data_dropped: u64,
+    /// ACK packets of this flow dropped at any queue.
+    pub acks_dropped: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum AppCall {
+    SendSpace(AppId, FlowId),
+    TransferComplete(AppId, FlowId),
+}
+
+/// The simulator.
+pub struct Sim {
+    now: SimTime,
+    events: BinaryHeap<Reverse<Event>>,
+    event_seq: u64,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    senders: Vec<TcpSender>,
+    sender_timer_gen: Vec<u64>,
+    sinks: Vec<TcpSink>,
+    sink_timer_gen: Vec<u64>,
+    flows: Vec<Flow>,
+    flow_counters: Vec<FlowCounters>,
+    apps: Vec<Option<Box<dyn App>>>,
+    pending_calls: Vec<AppCall>,
+    rng: SmallRng,
+    events_processed: u64,
+}
+
+impl Sim {
+    /// Create an empty simulator with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            now: 0,
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            nodes: Vec::new(),
+            links: Vec::new(),
+            senders: Vec::new(),
+            sender_timer_gen: Vec::new(),
+            sinks: Vec::new(),
+            sink_timer_gen: Vec::new(),
+            flows: Vec::new(),
+            flow_counters: Vec::new(),
+            apps: Vec::new(),
+            pending_calls: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            events_processed: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Topology construction
+    // ------------------------------------------------------------------
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, label: impl Into<String>) -> NodeId {
+        self.nodes.push(Node::new(label));
+        (self.nodes.len() - 1) as NodeId
+    }
+
+    /// Add a unidirectional link from `from` to `to`; returns its id. No
+    /// route is installed automatically.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) -> LinkId {
+        let _ = from; // kept for call-site readability; routing is explicit
+        self.links.push(Link::new(spec, to));
+        (self.links.len() - 1) as LinkId
+    }
+
+    /// Add a duplex link (two unidirectional links with the same spec) and
+    /// return `(forward, reverse)` link ids.
+    pub fn add_duplex(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (LinkId, LinkId) {
+        (self.add_link(a, b, spec), self.add_link(b, a, spec))
+    }
+
+    /// Install a route on `node`: packets for `dst` leave on `link`.
+    pub fn add_route(&mut self, node: NodeId, dst: NodeId, link: LinkId) {
+        self.nodes[node as usize].add_route(dst, link);
+    }
+
+    /// Install `node`'s default route.
+    pub fn set_default_route(&mut self, node: NodeId, link: LinkId) {
+        self.nodes[node as usize].set_default_route(link);
+    }
+
+    /// Create a TCP connection from `src` to `dst`; returns the flow id.
+    pub fn add_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        tcp: TcpConfig,
+        sink: SinkConfig,
+    ) -> FlowId {
+        let flow = self.flows.len() as FlowId;
+        self.senders.push(TcpSender::new(flow, src, dst, tcp));
+        self.sender_timer_gen.push(0);
+        self.sinks.push(TcpSink::new(flow, dst, src, sink));
+        self.sink_timer_gen.push(0);
+        self.flows.push(Flow {
+            sender: (self.senders.len() - 1) as u32,
+            sink: (self.sinks.len() - 1) as u32,
+            owner_app: None,
+            receiver_app: None,
+        });
+        self.flow_counters.push(FlowCounters::default());
+        flow
+    }
+
+    /// Attach an application; `start` is invoked immediately.
+    pub fn add_app(&mut self, app: Box<dyn App>) -> AppId {
+        self.apps.push(Some(app));
+        let id = (self.apps.len() - 1) as AppId;
+        self.with_app(id, |app, api| app.start(api));
+        self.drain_pending();
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events processed so far (a cheap progress/perf metric).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Immutable access to a link (for stats).
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id as usize]
+    }
+
+    /// Immutable access to a flow's sender.
+    pub fn sender(&self, flow: FlowId) -> &TcpSender {
+        &self.senders[self.flows[flow as usize].sender as usize]
+    }
+
+    /// Immutable access to a flow's sink.
+    pub fn sink(&self, flow: FlowId) -> &TcpSink {
+        &self.sinks[self.flows[flow as usize].sink as usize]
+    }
+
+    /// Engine counters for a flow.
+    pub fn flow_counters(&self, flow: FlowId) -> FlowCounters {
+        self.flow_counters[flow as usize]
+    }
+
+    /// Measured loss probability of a flow: data packets dropped at queues
+    /// divided by data packets transmitted (first + retransmissions).
+    pub fn flow_loss_rate(&self, flow: FlowId) -> f64 {
+        let tx = self.sender(flow).total_transmissions();
+        if tx == 0 {
+            0.0
+        } else {
+            self.flow_counters[flow as usize].data_dropped as f64 / tx as f64
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    fn schedule(&mut self, time: SimTime, kind: EventKind, pkt: Option<Packet>) {
+        self.event_seq += 1;
+        self.events.push(Reverse(Event {
+            time,
+            seq: self.event_seq,
+            kind,
+            pkt,
+        }));
+    }
+
+    /// Run the simulation until simulated time `t_end`.
+    pub fn run_until(&mut self, t_end: SimTime) {
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.time > t_end {
+                break;
+            }
+            let Reverse(ev) = self.events.pop().expect("peeked");
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            self.events_processed += 1;
+            self.dispatch(ev);
+            self.drain_pending();
+        }
+        self.now = t_end;
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev.kind {
+            EventKind::LinkTxDone(l) => {
+                if let Some(pkt) = self.links[l as usize].tx_done() {
+                    self.start_tx(l, pkt);
+                }
+            }
+            EventKind::Arrival(node) => {
+                let pkt = ev.pkt.expect("arrival carries a packet");
+                self.handle_arrival(node, pkt);
+            }
+            EventKind::SenderTimer { sender, gen } => {
+                if self.sender_timer_gen[sender as usize] == gen
+                    && self.senders[sender as usize].timer_deadline == Some(ev.time)
+                {
+                    self.senders[sender as usize].on_timeout(ev.time);
+                    self.flush_sender(sender);
+                }
+            }
+            EventKind::SinkTimer { sink, gen } => {
+                if self.sink_timer_gen[sink as usize] == gen
+                    && self.sinks[sink as usize].timer_deadline == Some(ev.time)
+                {
+                    self.sinks[sink as usize].on_delack_timer();
+                    self.flush_sink(sink);
+                }
+            }
+            EventKind::AppTimer { app, tag } => {
+                self.with_app(app, |a, api| a.on_timer(api, tag));
+            }
+        }
+    }
+
+    fn handle_arrival(&mut self, node: NodeId, pkt: Packet) {
+        if pkt.dst != node {
+            self.route_from(node, pkt);
+            return;
+        }
+        match pkt.kind {
+            PacketKind::Data => {
+                let sink_id = self.flows[pkt.flow as usize].sink;
+                self.sinks[sink_id as usize].on_data(&pkt, self.now);
+                self.flush_sink(sink_id);
+            }
+            PacketKind::Ack => {
+                let sender_id = self.flows[pkt.flow as usize].sender;
+                self.senders[sender_id as usize].on_ack(pkt.seq, self.now);
+                self.flush_sender(sender_id);
+            }
+        }
+    }
+
+    fn route_from(&mut self, node: NodeId, pkt: Packet) {
+        match self.nodes[node as usize].route_to(pkt.dst) {
+            Some(l) => self.offer_to_link(l, pkt),
+            None => panic!(
+                "no route from node {} ({}) to node {}",
+                node, self.nodes[node as usize].label, pkt.dst
+            ),
+        }
+    }
+
+    fn offer_to_link(&mut self, l: LinkId, pkt: Packet) {
+        match self.links[l as usize].offer(pkt, &mut self.rng) {
+            Offer::StartTx(p) => self.start_tx(l, p),
+            Offer::Queued => {}
+            Offer::Dropped(p) => {
+                let c = &mut self.flow_counters[p.flow as usize];
+                match p.kind {
+                    PacketKind::Data => c.data_dropped += 1,
+                    PacketKind::Ack => c.acks_dropped += 1,
+                }
+            }
+        }
+    }
+
+    fn start_tx(&mut self, l: LinkId, pkt: Packet) {
+        let (tx, delay, to) = {
+            let link = &self.links[l as usize];
+            (link.spec.tx_time(pkt.size_bytes), link.spec.delay, link.to)
+        };
+        self.schedule(self.now + tx, EventKind::LinkTxDone(l), None);
+        self.schedule(self.now + tx + delay, EventKind::Arrival(to), Some(pkt));
+    }
+
+    // ------------------------------------------------------------------
+    // Endpoint flushing (outboxes, timers, app notifications)
+    // ------------------------------------------------------------------
+
+    fn flush_sender(&mut self, sender_id: u32) {
+        let s = sender_id as usize;
+        let (node, flow) = (self.senders[s].node, self.senders[s].flow);
+        let pkts = std::mem::take(&mut self.senders[s].outbox);
+        for pkt in pkts {
+            self.route_from(node, pkt);
+        }
+        if self.senders[s].timer_dirty {
+            self.senders[s].timer_dirty = false;
+            self.sender_timer_gen[s] += 1;
+            if let Some(t) = self.senders[s].timer_deadline {
+                let gen = self.sender_timer_gen[s];
+                self.schedule(
+                    t,
+                    EventKind::SenderTimer {
+                        sender: sender_id,
+                        gen,
+                    },
+                    None,
+                );
+            }
+        }
+        if std::mem::take(&mut self.senders[s].wake_app) {
+            if let Some(app) = self.flows[flow as usize].owner_app {
+                self.pending_calls.push(AppCall::SendSpace(app, flow));
+            }
+        }
+        if std::mem::take(&mut self.senders[s].transfer_complete) {
+            if let Some(app) = self.flows[flow as usize].owner_app {
+                self.pending_calls
+                    .push(AppCall::TransferComplete(app, flow));
+            }
+        }
+    }
+
+    fn flush_sink(&mut self, sink_id: u32) {
+        let s = sink_id as usize;
+        let (node, flow) = (self.sinks[s].node, self.sinks[s].flow);
+        let pkts = std::mem::take(&mut self.sinks[s].outbox);
+        for pkt in pkts {
+            self.route_from(node, pkt);
+        }
+        if self.sinks[s].timer_dirty {
+            self.sinks[s].timer_dirty = false;
+            self.sink_timer_gen[s] += 1;
+            if let Some(t) = self.sinks[s].timer_deadline {
+                let gen = self.sink_timer_gen[s];
+                self.schedule(t, EventKind::SinkTimer { sink: sink_id, gen }, None);
+            }
+        }
+        let chunks = std::mem::take(&mut self.sinks[s].delivered);
+        if !chunks.is_empty() {
+            if let Some(app) = self.flows[flow as usize].receiver_app {
+                self.with_app(app, |a, api| a.on_receive(api, flow, &chunks));
+            }
+        }
+    }
+
+    fn drain_pending(&mut self) {
+        while let Some(call) = self.pending_calls.pop() {
+            match call {
+                AppCall::SendSpace(app, flow) => {
+                    self.with_app(app, |a, api| a.on_send_space(api, flow));
+                }
+                AppCall::TransferComplete(app, flow) => {
+                    self.with_app(app, |a, api| a.on_transfer_complete(api, flow));
+                }
+            }
+        }
+    }
+
+    fn with_app(&mut self, id: AppId, f: impl FnOnce(&mut dyn App, &mut SimApi<'_>)) {
+        let mut app = self.apps[id as usize].take().expect("app reentrancy");
+        {
+            let mut api = SimApi { sim: self, app: id };
+            f(app.as_mut(), &mut api);
+        }
+        self.apps[id as usize] = Some(app);
+    }
+}
+
+/// Handle through which applications interact with the simulator.
+pub struct SimApi<'a> {
+    sim: &'a mut Sim,
+    app: AppId,
+}
+
+impl SimApi<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now
+    }
+
+    /// Deterministic RNG shared by the whole simulation.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.sim.rng
+    }
+
+    /// Schedule `on_timer(tag)` for this app after `delay`.
+    pub fn schedule_in(&mut self, delay: SimTime, tag: u64) {
+        let t = self.sim.now + delay;
+        self.sim
+            .schedule(t, EventKind::AppTimer { app: self.app, tag }, None);
+    }
+
+    /// Subscribe this app to send-side notifications of `flow`
+    /// (`on_send_space`, `on_transfer_complete`).
+    pub fn own_flow(&mut self, flow: FlowId) {
+        self.sim.flows[flow as usize].owner_app = Some(self.app);
+    }
+
+    /// Subscribe this app to in-order data delivered by `flow`'s sink.
+    pub fn receive_flow(&mut self, flow: FlowId) {
+        self.sim.flows[flow as usize].receiver_app = Some(self.app);
+    }
+
+    /// Free send-buffer space on `flow`, in segments.
+    pub fn free_space(&self, flow: FlowId) -> usize {
+        self.sim.sender(flow).free_space()
+    }
+
+    /// Push a chunk into `flow`'s send buffer and transmit what the window
+    /// allows. Returns `false` if the buffer was full.
+    pub fn push_chunk(&mut self, flow: FlowId, chunk: AppChunk) -> bool {
+        let sid = self.sim.flows[flow as usize].sender;
+        let now = self.sim.now;
+        let ok = self.sim.senders[sid as usize].push_chunk(chunk);
+        if ok {
+            self.sim.senders[sid as usize].try_send(now);
+            self.sim.flush_sender(sid);
+        }
+        ok
+    }
+
+    /// Make `flow` backlogged (infinite data or a sized transfer) and start
+    /// transmitting.
+    pub fn set_backlogged(&mut self, flow: FlowId, remaining: Option<u64>) {
+        let sid = self.sim.flows[flow as usize].sender;
+        let now = self.sim.now;
+        self.sim.senders[sid as usize].set_backlogged(remaining);
+        self.sim.senders[sid as usize].try_send(now);
+        self.sim.flush_sender(sid);
+    }
+
+    /// Reset `flow`'s congestion state as a fresh connection (HTTP restart).
+    pub fn restart_connection(&mut self, flow: FlowId) {
+        let sid = self.sim.flows[flow as usize].sender;
+        self.sim.senders[sid as usize].restart_connection();
+    }
+
+    /// Read-only view of the sender of `flow` (stats, RTT estimator).
+    pub fn sender(&self, flow: FlowId) -> &TcpSender {
+        self.sim.sender(flow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{millis, secs, SECOND};
+
+    /// Two hosts, one duplex link. An FTP transfers data; check delivery and
+    /// throughput plausibility.
+    fn two_host_sim(bw_mbps: f64, delay_ms: f64, queue: usize) -> (Sim, FlowId) {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        let (f, r) = sim.add_duplex(a, b, LinkSpec::from_table(bw_mbps, delay_ms, queue));
+        sim.add_route(a, b, f);
+        sim.add_route(b, a, r);
+        let flow = sim.add_flow(a, b, TcpConfig::default(), SinkConfig::default());
+        (sim, flow)
+    }
+
+    struct FtpStarter {
+        flow: FlowId,
+    }
+    impl App for FtpStarter {
+        fn start(&mut self, api: &mut SimApi<'_>) {
+            api.set_backlogged(self.flow, None);
+        }
+    }
+
+    #[test]
+    fn backlogged_flow_fills_the_pipe() {
+        let (mut sim, flow) = two_host_sim(10.0, 10.0, 100);
+        sim.add_app(Box::new(FtpStarter { flow }));
+        sim.run_until(10 * SECOND);
+        // 10 Mbps, 1500 B packets → 833 pkt/s max. Expect ≥ 70% utilisation
+        // after slow start in 10 s, and no loss (huge queue, window-limited).
+        let delivered = sim.sink(flow).stats.delivered;
+        assert!(delivered > 4_000, "delivered {delivered}");
+        assert_eq!(sim.flow_counters(flow).data_dropped, 0);
+        // RTT samples should hover around the two-way propagation delay.
+        let rtt = sim.sender(flow).rtt.mean_rtt_secs().unwrap();
+        assert!(rtt > 0.019 && rtt < 0.2, "rtt {rtt}");
+    }
+
+    #[test]
+    fn window_limited_throughput_matches_formula() {
+        // Large BDP: throughput ≈ max_wnd / RTT.
+        let (mut sim, flow) = two_host_sim(100.0, 50.0, 1000);
+        sim.add_app(Box::new(FtpStarter { flow }));
+        sim.run_until(30 * SECOND);
+        let delivered = sim.sink(flow).stats.delivered as f64 / 30.0;
+        let rtt = 0.1 + 0.00012 * 2.0; // 2×50 ms + serialisation
+        let expect = 64.0 / rtt;
+        assert!(
+            (delivered - expect).abs() / expect < 0.15,
+            "delivered {delivered:.1} pkt/s, expected ≈ {expect:.1}"
+        );
+    }
+
+    #[test]
+    fn bottleneck_losses_trigger_recovery_not_collapse() {
+        // Small queue forces drops; the flow must keep making progress.
+        let (mut sim, flow) = two_host_sim(2.0, 20.0, 10);
+        sim.add_app(Box::new(FtpStarter { flow }));
+        sim.run_until(60 * SECOND);
+        let delivered = sim.sink(flow).stats.delivered as f64 / 60.0;
+        // 2 Mbps ≈ 167 pkt/s; Reno should reach at least half of that.
+        assert!(delivered > 80.0, "delivered {delivered:.1} pkt/s");
+        assert!(sim.flow_counters(flow).data_dropped > 0, "expected drops");
+        let p = sim.flow_loss_rate(flow);
+        assert!(p > 0.0 && p < 0.2, "loss {p}");
+        // Everything delivered exactly once to the app despite losses.
+        let sent_beyond = sim.sender(flow).acked();
+        assert_eq!(sim.sink(flow).stats.delivered, sim.sink(flow).rcv_next());
+        assert!(sent_beyond <= sim.sink(flow).rcv_next());
+    }
+
+    #[test]
+    fn two_competing_flows_share_fairly() {
+        let mut sim = Sim::new(7);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        let (f, r) = sim.add_duplex(a, b, LinkSpec::from_table(4.0, 20.0, 30));
+        sim.add_route(a, b, f);
+        sim.add_route(b, a, r);
+        let f1 = sim.add_flow(a, b, TcpConfig::default(), SinkConfig::default());
+        let f2 = sim.add_flow(a, b, TcpConfig::default(), SinkConfig::default());
+        sim.add_app(Box::new(FtpStarter { flow: f1 }));
+        sim.add_app(Box::new(FtpStarter { flow: f2 }));
+        sim.run_until(120 * SECOND);
+        let d1 = sim.sink(f1).stats.delivered as f64;
+        let d2 = sim.sink(f2).stats.delivered as f64;
+        let ratio = d1.max(d2) / d1.min(d2);
+        assert!(ratio < 1.6, "unfair split: {d1} vs {d2}");
+        // Combined they should use most of the 4 Mbps ≈ 333 pkt/s.
+        assert!((d1 + d2) / 120.0 > 250.0, "aggregate too low");
+    }
+
+    #[test]
+    fn app_timers_fire_in_order() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct TimerApp {
+            fired: Rc<RefCell<Vec<(u64, SimTime)>>>,
+        }
+        impl App for TimerApp {
+            fn start(&mut self, api: &mut SimApi<'_>) {
+                api.schedule_in(secs(2.0), 2);
+                api.schedule_in(secs(1.0), 1);
+                api.schedule_in(millis(1500.0), 15);
+            }
+            fn on_timer(&mut self, api: &mut SimApi<'_>, tag: u64) {
+                self.fired.borrow_mut().push((tag, api.now()));
+            }
+        }
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(1);
+        sim.add_app(Box::new(TimerApp {
+            fired: Rc::clone(&fired),
+        }));
+        sim.run_until(10 * SECOND);
+        assert_eq!(
+            *fired.borrow(),
+            vec![(1, secs(1.0)), (15, millis(1500.0)), (2, secs(2.0))]
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed| {
+            let (mut sim, flow) = two_host_sim(2.0, 20.0, 10);
+            let _ = seed;
+            sim.add_app(Box::new(FtpStarter { flow }));
+            sim.run_until(30 * SECOND);
+            (
+                sim.sink(flow).stats.delivered,
+                sim.flow_counters(flow).data_dropped,
+                sim.events_processed(),
+            )
+        };
+        assert_eq!(run(1), run(1));
+    }
+}

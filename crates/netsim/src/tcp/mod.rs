@@ -1,0 +1,9 @@
+//! TCP Reno endpoints (sender, sink) and RTT estimation.
+
+mod rtt;
+mod sender;
+mod sink;
+
+pub use rtt::RttEstimator;
+pub use sender::{SenderStats, TcpConfig, TcpFlavor, TcpSender};
+pub use sink::{SinkConfig, SinkStats, TcpSink};

@@ -1,0 +1,146 @@
+//! Jacobson/Karels round-trip-time estimation and retransmission timeout.
+
+use crate::time::{to_secs, SimTime};
+
+/// RTT estimator producing the retransmission timeout
+/// `RTO = SRTT + 4·RTTVAR`, clamped to `[min_rto, max_rto]`.
+#[derive(Debug, Clone, Copy)]
+pub struct RttEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    /// Lower bound on the RTO, seconds (Linux uses 200 ms).
+    pub min_rto: f64,
+    /// Upper bound on the RTO, seconds.
+    pub max_rto: f64,
+    /// RTO used before any sample exists, seconds.
+    pub initial_rto: f64,
+    // Measurement accumulators (for reporting R and T_O as in Table 2).
+    rtt_sum: f64,
+    rtt_n: u64,
+    rto_sum: f64,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self {
+            srtt: None,
+            rttvar: 0.0,
+            min_rto: 0.2,
+            max_rto: 60.0,
+            initial_rto: 1.0,
+            rtt_sum: 0.0,
+            rtt_n: 0,
+            rto_sum: 0.0,
+        }
+    }
+}
+
+impl RttEstimator {
+    /// Fold in a new RTT measurement (Karn-compliant samples only: the caller
+    /// must not sample retransmitted segments).
+    pub fn update(&mut self, sample: SimTime) {
+        let m = to_secs(sample);
+        match self.srtt {
+            None => {
+                self.srtt = Some(m);
+                self.rttvar = m / 2.0;
+            }
+            Some(srtt) => {
+                let err = m - srtt;
+                self.srtt = Some(srtt + err / 8.0);
+                self.rttvar += (err.abs() - self.rttvar) / 4.0;
+            }
+        }
+        self.rtt_sum += m;
+        self.rtt_n += 1;
+        self.rto_sum += self.rto_secs();
+    }
+
+    /// Current first (un-backed-off) retransmission timeout, in seconds.
+    pub fn rto_secs(&self) -> f64 {
+        match self.srtt {
+            None => self.initial_rto,
+            Some(srtt) => (srtt + (4.0 * self.rttvar).max(0.01)).clamp(self.min_rto, self.max_rto),
+        }
+    }
+
+    /// Current smoothed RTT, seconds (if any sample was taken).
+    pub fn srtt_secs(&self) -> Option<f64> {
+        self.srtt
+    }
+
+    /// Number of RTT samples folded in.
+    pub fn samples(&self) -> u64 {
+        self.rtt_n
+    }
+
+    /// Mean of all RTT samples, seconds — the paper's `R`.
+    pub fn mean_rtt_secs(&self) -> Option<f64> {
+        (self.rtt_n > 0).then(|| self.rtt_sum / self.rtt_n as f64)
+    }
+
+    /// Mean first retransmission timeout, seconds — the paper's `R_TO`.
+    pub fn mean_rto_secs(&self) -> Option<f64> {
+        (self.rtt_n > 0).then(|| self.rto_sum / self.rtt_n as f64)
+    }
+
+    /// Mean `T_O = R_TO / R` ratio as reported in Tables 2 and 3.
+    pub fn to_ratio(&self) -> Option<f64> {
+        match (self.mean_rto_secs(), self.mean_rtt_secs()) {
+            (Some(rto), Some(rtt)) if rtt > 0.0 => Some(rto / rtt),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::secs;
+
+    #[test]
+    fn first_sample_initialises() {
+        let mut e = RttEstimator::default();
+        assert_eq!(e.rto_secs(), 1.0);
+        e.update(secs(0.1));
+        assert!((e.srtt_secs().unwrap() - 0.1).abs() < 1e-12);
+        // RTO = 0.1 + 4·0.05 = 0.3
+        assert!((e.rto_secs() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_samples_converge_to_min_rto_bound() {
+        let mut e = RttEstimator::default();
+        for _ in 0..500 {
+            e.update(secs(0.05));
+        }
+        // rttvar decays towards 0, so rto approaches max(min_rto, srtt+ε).
+        assert!(e.rto_secs() >= e.min_rto);
+        assert!(e.rto_secs() < 0.25);
+        assert!((e.mean_rtt_secs().unwrap() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_raises_rto() {
+        let mut lo = RttEstimator::default();
+        let mut hi = RttEstimator::default();
+        for i in 0..200 {
+            lo.update(secs(0.1));
+            hi.update(secs(if i % 2 == 0 { 0.05 } else { 0.15 }));
+        }
+        assert!(hi.rto_secs() > lo.rto_secs());
+        assert!(hi.to_ratio().unwrap() > lo.to_ratio().unwrap());
+    }
+
+    #[test]
+    fn rto_respects_bounds() {
+        let mut e = RttEstimator::default();
+        e.update(secs(120.0));
+        assert!(e.rto_secs() <= e.max_rto);
+        let mut tiny = RttEstimator::default();
+        for _ in 0..100 {
+            tiny.update(secs(0.001));
+        }
+        assert!(tiny.rto_secs() >= tiny.min_rto);
+    }
+}

@@ -1,0 +1,50 @@
+//! Simulated time: `u64` nanoseconds since the start of the run.
+//!
+//! Integer time gives the event queue a total order with no floating-point
+//! drift; helpers convert to and from seconds/milliseconds for configuration
+//! and reporting.
+
+/// A point in simulated time, in nanoseconds.
+pub type SimTime = u64;
+
+/// One second of simulated time.
+pub const SECOND: SimTime = 1_000_000_000;
+
+/// One millisecond of simulated time.
+pub const MILLISECOND: SimTime = 1_000_000;
+
+/// Convert seconds (f64) to [`SimTime`]. Negative values saturate to 0.
+pub fn secs(s: f64) -> SimTime {
+    if s <= 0.0 {
+        0
+    } else {
+        (s * SECOND as f64).round() as SimTime
+    }
+}
+
+/// Convert milliseconds (f64) to [`SimTime`].
+pub fn millis(ms: f64) -> SimTime {
+    secs(ms / 1e3)
+}
+
+/// Convert a [`SimTime`] to seconds.
+pub fn to_secs(t: SimTime) -> f64 {
+    t as f64 / SECOND as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(secs(1.0), SECOND);
+        assert_eq!(millis(250.0), 250 * MILLISECOND);
+        assert!((to_secs(secs(3.25)) - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_saturates() {
+        assert_eq!(secs(-1.0), 0);
+    }
+}

@@ -1,0 +1,632 @@
+//! The per-flow TCP Markov chain of the paper's analytical model (Section 4).
+//!
+//! The paper describes each flow's state as the tuple `(W, C, L, E, Q)` and
+//! defers the transition rates to its technical report \[32\]. We reconstruct
+//! them following the stated ingredients — the loss process of Padhye et al.
+//! \[23\] and Figueiredo et al. \[10\] (losses independent across rounds;
+//! within a round, once a packet is lost all remaining packets of the round
+//! are lost), rounds of mean duration `R`, timeouts with exponential backoff
+//! capped at 2⁶, and delayed-ACK window growth — organised as phases:
+//!
+//! * **Slow start** (`W` below `ssthresh`): a round sends `W` packets; on a
+//!   fully successful round the window grows by a factor 1.5 (delayed ACKs:
+//!   one ACK per two segments, +1 segment per ACK).
+//! * **Congestion avoidance**: the delayed-ACK toggle `C` gives `W → W + 1`
+//!   every second successful round.
+//! * **Loss handling**: if the first loss of a round leaves ≥ 3 later
+//!   packets delivered, the flow detects it by triple duplicate ACK and
+//!   halves the window (`W → max(W/2, 1)`) without a dead round, as in
+//!   Padhye et al. — the retransmissions ride along in subsequent rounds'
+//!   windows. Otherwise the flow times out.
+//! * **Timeout** (`E = e ≥ 1`): the flow waits `Exp(2^{e-1}·T_O·R)`, then
+//!   sends one retransmission (the paper's `Q = 1` case). If it is lost the
+//!   backoff exponent increases (cap 6); on success the flow re-enters slow
+//!   start at `W = 1` with `ssthresh = W_loss/2`.
+//!
+//! Each transition reports how many packets were **successfully delivered**,
+//! which is what feeds the client-buffer process `N(t)` in
+//! [`crate::dmp`]. The paper's argument for ignoring packet identity (its
+//! Section 4.1 out-of-order analysis) is what lets the chain track only
+//! delivery *counts*.
+//!
+//! Reconstruction notes (documented deviations): we carry `ssthresh`
+//! explicitly (the paper's 5-tuple has no slot for it; some earlier models
+//! skip slow start entirely), and the timeout retransmission flag `Q` is
+//! implicit — the first packet sent in the timeout phase is always the
+//! retransmission. Fidelity is checked two ways in the tests: backlogged
+//! throughput against the PFTK formula, and the full chain against the
+//! `netsim` packet-level TCP in the integration suite.
+
+use dmp_core::spec::PathSpec;
+use rand::Rng;
+
+/// Phase of the per-flow chain (encodes the paper's `L`, `E`, `Q`
+/// components together with the window `W`, toggle `C`, and `ssthresh`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Exponential window growth up to `ssthresh`.
+    SlowStart,
+    /// Linear growth: +1 segment every two rounds (toggle `C`).
+    CongAvoid,
+    /// One Reno recovery round after a triple-duplicate-ACK detection;
+    /// `lost` packets are retransmitted during it.
+    Recovery {
+        /// Packets lost in the previous round (`L`), delivered by recovery.
+        lost: u32,
+    },
+    /// Timeout with current backoff exponent `exp` (`E = exp + 1` in the
+    /// paper's encoding; wait time `2^exp · T_O · R`).
+    Timeout {
+        /// Backoff exponent, capped at [`TcpChain::MAX_BACKOFF_EXP`].
+        exp: u8,
+    },
+}
+
+/// Complete chain state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TcpChainState {
+    /// Congestion window `W`, segments.
+    pub w: u32,
+    /// Delayed-ACK toggle `C` (congestion avoidance grows `W` when it flips
+    /// from 1 to 0).
+    pub c: bool,
+    /// Slow-start threshold.
+    pub ssthresh: u32,
+    /// Current phase.
+    pub phase: Phase,
+    /// Erlang stage within the current round/timeout (0-based; the round's
+    /// outcome happens when the last stage completes).
+    pub stage: u8,
+}
+
+/// Outcome of one chain transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Packets successfully delivered to the receiver by this transition
+    /// (the `S_k` of the paper's buffer recursion).
+    pub delivered: u32,
+}
+
+/// The per-flow TCP chain: parameters plus current state.
+///
+/// Round durations are **Erlang-k** distributed (k = [`TcpChain::STAGES`]
+/// exponential stages with mean `R/k` each): a real TCP round lasts
+/// approximately one RTT with modest jitter, and a plain exponential holding
+/// time would roughly double the variance of the delivery process and fatten
+/// the buffer-deficit tail that the late-packet metric lives on. Erlang
+/// stages keep the process a CTMC (as the paper's solver requires) while
+/// matching the near-deterministic round timing of packet-level TCP.
+#[derive(Debug, Clone)]
+pub struct TcpChain {
+    path: PathSpec,
+    /// Maximum window, segments.
+    pub wmax: u32,
+    state: TcpChainState,
+    /// Precomputed `(1-p)^w` for w = 0..=wmax.
+    no_loss_prob: Vec<f64>,
+    ln_1mp: f64,
+}
+
+impl TcpChain {
+    /// Backoff exponent cap: timeouts back off up to `2⁶ = 64×` (the model's
+    /// `E` component has seven values).
+    pub const MAX_BACKOFF_EXP: u8 = 6;
+
+    /// Erlang stages per round (variance of a round's duration is `R²/k`).
+    pub const STAGES: u8 = 4;
+
+    /// Create a chain for a path, starting in slow start with `W = 1`.
+    pub fn new(path: PathSpec, wmax: u32) -> Self {
+        assert!(path.loss > 0.0 && path.loss < 1.0, "loss must be in (0,1)");
+        assert!(wmax >= 2);
+        let no_loss_prob = (0..=wmax)
+            .map(|w| (1.0 - path.loss).powi(w as i32))
+            .collect();
+        Self {
+            path,
+            wmax,
+            state: TcpChainState {
+                w: 1,
+                c: false,
+                ssthresh: wmax,
+                phase: Phase::SlowStart,
+                stage: 0,
+            },
+            no_loss_prob,
+            ln_1mp: (1.0 - path.loss).ln(),
+        }
+    }
+
+    /// The path parameters this chain models.
+    pub fn path(&self) -> PathSpec {
+        self.path
+    }
+
+    /// Current state (for inspection/tests).
+    pub fn state(&self) -> TcpChainState {
+        self.state
+    }
+
+    /// Rate (events per second) at which this chain currently makes stage
+    /// transitions: `k/R` in normal phases, `k/(2^e·T_O·R)` in timeout, so a
+    /// full round (k stages) has mean duration `R` (resp. the backoff time).
+    pub fn rate(&self) -> f64 {
+        let k = f64::from(Self::STAGES);
+        match self.state.phase {
+            Phase::Timeout { exp } => k / (f64::from(1u32 << exp) * self.path.rto_s()),
+            _ => k / self.path.rtt_s,
+        }
+    }
+
+    /// Number of successes before the first loss in a round of `w` packets:
+    /// `w` with probability `(1-p)^w`, otherwise `G < w` geometric.
+    fn sample_first_loss(&self, w: u32, rng: &mut impl Rng) -> u32 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u <= self.no_loss_prob[w as usize] {
+            return w; // no loss this round
+        }
+        // Inverse-CDF geometric conditioned on < w: G = floor(ln(v)/ln(1-p)).
+        loop {
+            let v: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let g = (v.ln() / self.ln_1mp).floor() as u32;
+            if g < w {
+                return g;
+            }
+        }
+    }
+
+    /// Execute one transition of the chain (the caller has already waited
+    /// `Exp(1/rate)`); returns the number of packets delivered. The first
+    /// `k − 1` stage transitions of a round deliver nothing; the round's
+    /// outcome materialises on the last stage.
+    pub fn step(&mut self, rng: &mut impl Rng) -> Transition {
+        if self.state.stage + 1 < Self::STAGES {
+            self.state.stage += 1;
+            return Transition { delivered: 0 };
+        }
+        self.state.stage = 0;
+        let s = self.state;
+        match s.phase {
+            Phase::SlowStart | Phase::CongAvoid => {
+                let succ = self.sample_first_loss(s.w, rng);
+                if succ == s.w {
+                    self.on_clean_round();
+                } else {
+                    self.on_lossy_round(succ);
+                }
+                Transition { delivered: succ }
+            }
+            Phase::Recovery { lost } => {
+                // Legacy state kept for exact-solver compatibility; the live
+                // chain no longer enters it (triple-dup-ack detection halves
+                // the window without a dead round, as in Padhye et al.).
+                self.state.phase = Phase::CongAvoid;
+                Transition { delivered: lost }
+            }
+            Phase::Timeout { exp } => {
+                if rng.gen_range(0.0..1.0) < self.path.loss {
+                    // Retransmission lost: double the backoff (capped).
+                    self.state.phase = Phase::Timeout {
+                        exp: (exp + 1).min(Self::MAX_BACKOFF_EXP),
+                    };
+                    Transition { delivered: 0 }
+                } else {
+                    // Retransmission delivered: slow-start restart.
+                    self.state.w = 1;
+                    self.state.c = false;
+                    self.state.phase = if self.state.ssthresh <= 1 {
+                        Phase::CongAvoid
+                    } else {
+                        Phase::SlowStart
+                    };
+                    Transition { delivered: 1 }
+                }
+            }
+        }
+    }
+
+    /// Enumerate the outcome distribution of one stage transition from
+    /// `state`: `(next_state, probability, delivered)` triples summing to 1.
+    /// This is the analytical counterpart of [`TcpChain::step`], used by the
+    /// exact CTMC solver on reduced models and to cross-validate the sampler.
+    pub fn outcomes(&self, state: TcpChainState) -> Vec<(TcpChainState, f64, u32)> {
+        // Intermediate Erlang stages advance deterministically.
+        if state.stage + 1 < Self::STAGES {
+            let mut next = state;
+            next.stage += 1;
+            return vec![(next, 1.0, 0)];
+        }
+        let base = TcpChainState { stage: 0, ..state };
+        let p = self.path.loss;
+        match state.phase {
+            Phase::SlowStart | Phase::CongAvoid => {
+                let w = state.w;
+                let mut v = Vec::with_capacity(w as usize + 1);
+                // Clean round.
+                let mut clean = self.clone();
+                clean.state = base;
+                clean.on_clean_round();
+                v.push((clean.state, self.no_loss_prob[w as usize], w));
+                // First loss after `g` successes (g = 0..w-1).
+                for g in 0..w {
+                    let mut lossy = self.clone();
+                    lossy.state = base;
+                    lossy.on_lossy_round(g);
+                    v.push((lossy.state, (1.0 - p).powi(g as i32) * p, g));
+                }
+                v
+            }
+            Phase::Recovery { lost } => {
+                vec![(
+                    TcpChainState {
+                        phase: Phase::CongAvoid,
+                        ..base
+                    },
+                    1.0,
+                    lost,
+                )]
+            }
+            Phase::Timeout { exp } => {
+                let fail = TcpChainState {
+                    phase: Phase::Timeout {
+                        exp: (exp + 1).min(Self::MAX_BACKOFF_EXP),
+                    },
+                    ..base
+                };
+                let ok = TcpChainState {
+                    w: 1,
+                    c: false,
+                    phase: if base.ssthresh <= 1 {
+                        Phase::CongAvoid
+                    } else {
+                        Phase::SlowStart
+                    },
+                    ..base
+                };
+                vec![(fail, p, 0), (ok, 1.0 - p, 1)]
+            }
+        }
+    }
+
+    /// Force the chain into `state` (test/solver support).
+    pub fn set_state(&mut self, state: TcpChainState) {
+        self.state = state;
+    }
+
+    fn on_clean_round(&mut self) {
+        let s = self.state;
+        match s.phase {
+            Phase::SlowStart => {
+                // Delayed ACKs: W grows 1.5× per round in slow start.
+                let grown = (s.w + s.w.div_ceil(2)).min(self.wmax);
+                if grown >= s.ssthresh {
+                    self.state.w = grown.min(s.ssthresh).min(self.wmax);
+                    self.state.phase = Phase::CongAvoid;
+                    self.state.c = false;
+                } else {
+                    self.state.w = grown;
+                }
+            }
+            Phase::CongAvoid => {
+                if s.c {
+                    self.state.w = (s.w + 1).min(self.wmax);
+                    self.state.c = false;
+                } else {
+                    self.state.c = true;
+                }
+            }
+            _ => unreachable!("clean round only in sending phases"),
+        }
+    }
+
+    fn on_lossy_round(&mut self, succ: u32) {
+        let s = self.state;
+        let lost = s.w - succ;
+        let _ = lost; // lost packets re-enter later rounds' windows
+        self.state.ssthresh = (s.w / 2).max(2);
+        if succ >= 3 {
+            // Enough duplicate ACKs for fast retransmit: Reno halves the
+            // window and keeps going (the retransmissions ride along in the
+            // next rounds' windows; no dead round, following Padhye et al.).
+            self.state.w = (s.w / 2).max(1);
+            self.state.c = false;
+            self.state.phase = Phase::CongAvoid;
+        } else {
+            self.state.phase = Phase::Timeout { exp: 0 };
+        }
+    }
+
+    /// Empirical achievable throughput of a **backlogged** source driving
+    /// this chain, in packets per second, estimated over `rounds` transitions
+    /// (the paper's `σ_k`). Scales as `σR/R`, so callers can cache per-round
+    /// values.
+    pub fn achievable_throughput(
+        path: PathSpec,
+        wmax: u32,
+        rounds: u64,
+        rng: &mut impl Rng,
+    ) -> f64 {
+        let mut chain = TcpChain::new(path, wmax);
+        // Warm up past slow start.
+        for _ in 0..1_000 {
+            chain.step(rng);
+        }
+        let mut time = 0.0;
+        let mut delivered: u64 = 0;
+        for _ in 0..rounds {
+            // Mean holding time suffices for a throughput estimate (the
+            // holding times are exponential with this mean and independent
+            // of the outcome draw).
+            time += 1.0 / chain.rate();
+            delivered += u64::from(chain.step(rng).delivered);
+        }
+        delivered as f64 / time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pftk;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn path(p: f64, rtt_ms: f64, to: f64) -> PathSpec {
+        PathSpec::from_ms(p, rtt_ms, to)
+    }
+
+    /// Run one full Erlang round (k stages) and return its outcome.
+    fn round(c: &mut TcpChain, rng: &mut SmallRng) -> Transition {
+        let mut t = Transition { delivered: 0 };
+        for _ in 0..TcpChain::STAGES {
+            t = c.step(rng);
+        }
+        t
+    }
+
+    #[test]
+    fn starts_in_slow_start_and_grows() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Negligible loss: the window should climb.
+        let mut c = TcpChain::new(path(1e-6, 100.0, 2.0), 32);
+        for _ in 0..20 {
+            round(&mut c, &mut rng);
+        }
+        assert_eq!(c.state().w, 32, "window should reach wmax");
+        assert_eq!(c.state().phase, Phase::CongAvoid);
+    }
+
+    #[test]
+    fn congestion_avoidance_needs_two_rounds_per_increment() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut c = TcpChain::new(path(1e-9, 100.0, 2.0), 1000);
+        // Force CA at a known window.
+        c.state.phase = Phase::CongAvoid;
+        c.state.w = 10;
+        c.state.c = false;
+        c.state.ssthresh = 5;
+        round(&mut c, &mut rng);
+        assert_eq!(c.state().w, 10);
+        assert!(c.state().c);
+        round(&mut c, &mut rng);
+        assert_eq!(c.state().w, 11);
+        assert!(!c.state().c);
+    }
+
+    #[test]
+    fn big_window_loss_goes_to_recovery_small_to_timeout() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        // p = 0.9: the first packet almost surely dies → succ < 3 → timeout.
+        let mut c = TcpChain::new(path(0.9, 100.0, 2.0), 32);
+        c.state.phase = Phase::CongAvoid;
+        c.state.w = 2;
+        let _ = round(&mut c, &mut rng);
+        assert!(
+            matches!(c.state().phase, Phase::Timeout { exp: 0 }),
+            "{:?}",
+            c.state()
+        );
+    }
+
+    #[test]
+    fn timeout_backoff_caps_at_six() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut c = TcpChain::new(path(0.999, 100.0, 2.0), 32);
+        c.state.phase = Phase::Timeout { exp: 0 };
+        for _ in 0..20 {
+            round(&mut c, &mut rng);
+            if let Phase::Timeout { exp } = c.state().phase {
+                assert!(exp <= TcpChain::MAX_BACKOFF_EXP);
+            }
+        }
+        assert_eq!(
+            c.state().phase,
+            Phase::Timeout {
+                exp: TcpChain::MAX_BACKOFF_EXP
+            }
+        );
+        // Rate in deep backoff is 64× slower than the first timeout.
+        let deep = c.rate();
+        c.state.phase = Phase::Timeout { exp: 0 };
+        assert!((c.rate() / deep - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triple_dupack_loss_halves_window_without_dead_round() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        // p = 0.35 with W = 16 makes the first loss land at position >= 3
+        // reasonably often; find such a draw and check the transition.
+        let mut c = TcpChain::new(path(0.35, 100.0, 2.0), 32);
+        loop {
+            c.state.phase = Phase::CongAvoid;
+            c.state.w = 16;
+            c.state.c = false;
+            c.state.stage = 0;
+            let t = round(&mut c, &mut rng);
+            if t.delivered >= 3 && t.delivered < 16 {
+                assert_eq!(c.state().w, 8, "window halves on TD loss");
+                assert_eq!(c.state().phase, Phase::CongAvoid);
+                break;
+            }
+        }
+    }
+
+    /// The chain's backlogged throughput should track the PFTK formula — the
+    /// same sanity check Padhye et al. run against measurements. Model-to-
+    /// formula agreement within ±35% across the paper's parameter range is
+    /// what the literature reports; we assert that band.
+    #[test]
+    fn backlogged_throughput_tracks_pftk() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for &(p, to) in &[
+            (0.004, 4.0),
+            (0.02, 2.0),
+            (0.02, 4.0),
+            (0.04, 4.0),
+            (0.01, 1.0),
+        ] {
+            let spec = path(p, 200.0, to);
+            let sigma_model = TcpChain::achievable_throughput(spec, 64, 300_000, &mut rng);
+            let sigma_pftk = pftk::throughput_pps(&spec);
+            let ratio = sigma_model / sigma_pftk;
+            assert!(
+                (0.65..1.35).contains(&ratio),
+                "p={p} TO={to}: model {sigma_model:.2} vs PFTK {sigma_pftk:.2} (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_scales_inversely_with_rtt() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let s1 = TcpChain::achievable_throughput(path(0.02, 100.0, 4.0), 64, 200_000, &mut rng);
+        let s2 = TcpChain::achievable_throughput(path(0.02, 300.0, 4.0), 64, 200_000, &mut rng);
+        let ratio = s1 / s2;
+        assert!((ratio - 3.0).abs() < 0.25, "σ(100ms)/σ(300ms) = {ratio}");
+    }
+
+    #[test]
+    fn outcomes_probabilities_sum_to_one() {
+        let c = TcpChain::new(path(0.03, 100.0, 2.0), 8);
+        let states = [
+            TcpChainState {
+                w: 4,
+                c: false,
+                ssthresh: 8,
+                phase: Phase::CongAvoid,
+                stage: TcpChain::STAGES - 1,
+            },
+            TcpChainState {
+                w: 2,
+                c: true,
+                ssthresh: 4,
+                phase: Phase::SlowStart,
+                stage: TcpChain::STAGES - 1,
+            },
+            TcpChainState {
+                w: 1,
+                c: false,
+                ssthresh: 2,
+                phase: Phase::Timeout { exp: 3 },
+                stage: TcpChain::STAGES - 1,
+            },
+            TcpChainState {
+                w: 4,
+                c: false,
+                ssthresh: 8,
+                phase: Phase::CongAvoid,
+                stage: 0,
+            },
+        ];
+        for st in states {
+            let total: f64 = c.outcomes(st).iter().map(|&(_, pr, _)| pr).sum();
+            assert!((total - 1.0).abs() < 1e-12, "{st:?}: {total}");
+        }
+    }
+
+    #[test]
+    fn sampler_matches_enumerated_distribution() {
+        use std::collections::HashMap;
+        let mut rng = SmallRng::seed_from_u64(77);
+        let proto = TcpChain::new(path(0.08, 100.0, 2.0), 6);
+        let start = TcpChainState {
+            w: 5,
+            c: false,
+            ssthresh: 6,
+            phase: Phase::CongAvoid,
+            stage: TcpChain::STAGES - 1,
+        };
+        let expected: HashMap<_, f64> = proto
+            .outcomes(start)
+            .into_iter()
+            .map(|(st, pr, d)| ((st, d), pr))
+            .collect();
+        let n = 400_000;
+        let mut counts: HashMap<_, u64> = HashMap::new();
+        let mut c = proto.clone();
+        for _ in 0..n {
+            c.set_state(start);
+            let t = c.step(&mut rng);
+            *counts.entry((c.state(), t.delivered)).or_default() += 1;
+        }
+        for (key, pr) in &expected {
+            let got = *counts.get(key).unwrap_or(&0) as f64 / n as f64;
+            assert!(
+                (got - pr).abs() < 0.01 + 0.1 * pr,
+                "{key:?}: sampled {got:.4} vs exact {pr:.4}"
+            );
+        }
+        // No outcome outside the enumerated support.
+        for key in counts.keys() {
+            assert!(expected.contains_key(key), "unexpected outcome {key:?}");
+        }
+    }
+
+    /// In steady congestion avoidance, the mean window should sit near the
+    /// square-root law E[W] ≈ √(3/(2bp)) + O(1) (Padhye et al., b = 2).
+    #[test]
+    fn mean_window_follows_square_root_law() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        for &p in &[0.01, 0.02, 0.05] {
+            let mut c = TcpChain::new(path(p, 150.0, 2.0), 64);
+            // Warm up, then average W over sending-phase rounds.
+            for _ in 0..2_000 {
+                c.step(&mut rng);
+            }
+            let (mut sum, mut n) = (0.0, 0u64);
+            for _ in 0..400_000 {
+                let st = c.state();
+                if matches!(st.phase, Phase::SlowStart | Phase::CongAvoid) && st.stage == 0 {
+                    sum += f64::from(st.w);
+                    n += 1;
+                }
+                c.step(&mut rng);
+            }
+            let mean_w = sum / n as f64;
+            let law = (3.0 / (2.0 * 2.0 * p)).sqrt();
+            let ratio = mean_w / law;
+            assert!(
+                (0.7..1.6).contains(&ratio),
+                "p={p}: E[W] = {mean_w:.1} vs law {law:.1} (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn delivered_never_exceeds_window() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut c = TcpChain::new(path(0.05, 100.0, 4.0), 24);
+        for _ in 0..100_000 {
+            let w_before = c.state().w;
+            let phase = c.state().phase;
+            let t = round(&mut c, &mut rng);
+            match phase {
+                Phase::SlowStart | Phase::CongAvoid => assert!(t.delivered <= w_before),
+                Phase::Recovery { lost } => assert_eq!(t.delivered, lost),
+                Phase::Timeout { .. } => assert!(t.delivered <= 1),
+            }
+            assert!(!matches!(c.state().phase, Phase::Recovery { .. }));
+            assert!(c.state().w >= 1 && c.state().w <= 24);
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! The joint DMP-streaming model: `K` per-flow TCP chains producing packets
+//! into the client buffer, a Poisson consumer draining it (Section 4.2).
+//!
+//! State: `(X₁(t), …, X_K(t), N(t))` where `X_k` is the k-th chain's state
+//! and `N(t)` the number of early packets. Two event types:
+//!
+//! * **Production** (`E = P`): chain `k` makes a transition and delivers
+//!   `S_k` packets: `N ← min(N + S_k, N_max)` with `N_max = µτ`. A chain does
+//!   not transition while `N = N_max` (live streaming: the server cannot be
+//!   more than `µτ` packets ahead of playback).
+//! * **Consumption** (`E = C`): at rate `µ`, `N ← N − 1`. A consumption that
+//!   leaves `N < 0` is a **late packet**.
+//!
+//! The fraction of late packets is `f = P(N(t) < 0 | E(t) = C)`, estimated by
+//! stochastic simulation of the CTMC (statistically exact; TANGRAM-II, the
+//! tool the paper used, offers the same simulation solver alongside exact
+//! ones — the joint state space here is far too large for exact solution).
+//! The SSA machinery is cross-validated against an exact solver on reduced
+//! chains in [`crate::solver`]'s tests.
+
+use dmp_core::spec::PathSpec;
+use dmp_core::stats::OnlineStats;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::chain::TcpChain;
+
+/// Parameters of the joint model.
+#[derive(Debug, Clone)]
+pub struct DmpModel {
+    /// One entry per path (`K = paths.len()`).
+    pub paths: Vec<PathSpec>,
+    /// Playback rate µ, packets per second.
+    pub mu: f64,
+    /// Startup delay τ, seconds (`N_max = ⌈µτ⌉`).
+    pub tau_s: f64,
+    /// Maximum TCP window used by the per-flow chains.
+    pub wmax: u32,
+}
+
+impl DmpModel {
+    /// Default maximum window for the per-flow chains.
+    pub const DEFAULT_WMAX: u32 = 64;
+
+    /// A `K`-path model with the default window cap.
+    pub fn new(paths: Vec<PathSpec>, mu: f64, tau_s: f64) -> Self {
+        assert!(!paths.is_empty());
+        assert!(mu > 0.0 && tau_s > 0.0);
+        Self {
+            paths,
+            mu,
+            tau_s,
+            wmax: Self::DEFAULT_WMAX,
+        }
+    }
+
+    /// The buffer cap `N_max = ⌈µτ⌉` (Section 2.1: the number of early
+    /// packets can never exceed µτ in live streaming).
+    pub fn nmax(&self) -> i64 {
+        (self.mu * self.tau_s).ceil() as i64
+    }
+
+    /// Estimate the fraction of late packets by simulating the CTMC for
+    /// `consumptions` consumption events (after a warm-up of one tenth of
+    /// that). Deterministic for a fixed `seed`.
+    pub fn late_fraction(&self, consumptions: u64, seed: u64) -> LateFracEstimate {
+        let mut sim = DmpSsa::new(self, seed);
+        sim.run(consumptions)
+    }
+}
+
+/// A late-fraction estimate with a batch-means confidence interval.
+#[derive(Debug, Clone, Copy)]
+pub struct LateFracEstimate {
+    /// Point estimate of `f`.
+    pub f: f64,
+    /// 95% confidence half-width from batch means (0 when too few batches).
+    pub ci95: f64,
+    /// Consumption events counted (after warm-up).
+    pub consumptions: u64,
+    /// Late consumption events counted.
+    pub late: u64,
+}
+
+impl LateFracEstimate {
+    /// True when the interval excludes `threshold` from above/below, i.e.
+    /// we can call the comparison confidently.
+    pub fn decides(&self, threshold: f64) -> Option<bool> {
+        if self.f + self.ci95 < threshold {
+            Some(true) // confidently below
+        } else if self.f - self.ci95 > threshold {
+            Some(false) // confidently above
+        } else {
+            None
+        }
+    }
+}
+
+/// The stochastic simulation (Gillespie) of the joint chain. Exposed so the
+/// startup-delay search can run it incrementally.
+pub struct DmpSsa {
+    chains: Vec<TcpChain>,
+    mu: f64,
+    nmax: i64,
+    n: i64,
+    rng: SmallRng,
+    /// Packets produced per path (to report DMP's dynamic split).
+    pub produced: Vec<u64>,
+}
+
+impl DmpSsa {
+    /// Build the simulation in the model's initial state (`N = 0`, all
+    /// chains in slow start).
+    pub fn new(model: &DmpModel, seed: u64) -> Self {
+        Self {
+            chains: model
+                .paths
+                .iter()
+                .map(|&p| TcpChain::new(p, model.wmax))
+                .collect(),
+            mu: model.mu,
+            nmax: model.nmax(),
+            n: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            produced: vec![0; model.paths.len()],
+        }
+    }
+
+    /// Current buffer level `N`.
+    pub fn buffer_level(&self) -> i64 {
+        self.n
+    }
+
+    /// Advance by one event; returns `Some(late)` for a consumption event
+    /// (`late` = it found an empty buffer), `None` for a production event.
+    #[inline]
+    pub fn step(&mut self) -> Option<bool> {
+        // Competing exponentials: consumption at µ always; chain k at its
+        // current rate unless the buffer is full (live-streaming freeze).
+        let frozen = self.n >= self.nmax;
+        let mut total = self.mu;
+        if !frozen {
+            for c in &self.chains {
+                total += c.rate();
+            }
+        }
+        // (Holding time is Exp(total) but is not needed for the embedded
+        // statistics: consumptions sample the stationary law by PASTA.)
+        let mut pick = self.rng.gen_range(0.0..total);
+        if pick < self.mu {
+            self.n -= 1;
+            return Some(self.n < 0);
+        }
+        pick -= self.mu;
+        debug_assert!(!frozen);
+        for (k, c) in self.chains.iter_mut().enumerate() {
+            let r = c.rate();
+            if pick < r {
+                let t = c.step(&mut self.rng);
+                let s = i64::from(t.delivered);
+                self.produced[k] += u64::from(t.delivered);
+                self.n = (self.n + s).min(self.nmax);
+                return None;
+            }
+            pick -= r;
+        }
+        // Floating-point edge: attribute to the last chain.
+        let last = self.chains.len() - 1;
+        let t = self.chains[last].step(&mut self.rng);
+        self.produced[last] += u64::from(t.delivered);
+        self.n = (self.n + i64::from(t.delivered)).min(self.nmax);
+        None
+    }
+
+    /// Run until `consumptions` consumption events have been observed after a
+    /// warm-up of `consumptions/10`; estimate `f` with batch-means CIs.
+    pub fn run(&mut self, consumptions: u64) -> LateFracEstimate {
+        let warmup = consumptions / 10;
+        let mut seen = 0u64;
+        while seen < warmup {
+            if self.step().is_some() {
+                seen += 1;
+            }
+        }
+        const BATCHES: u64 = 20;
+        let per_batch = (consumptions / BATCHES).max(1);
+        let mut batch_stats = OnlineStats::new();
+        let mut late_total = 0u64;
+        let mut counted = 0u64;
+        for _ in 0..BATCHES {
+            let mut late = 0u64;
+            let mut c = 0u64;
+            while c < per_batch {
+                if let Some(is_late) = self.step() {
+                    c += 1;
+                    if is_late {
+                        late += 1;
+                    }
+                }
+            }
+            late_total += late;
+            counted += c;
+            batch_stats.push(late as f64 / c as f64);
+        }
+        LateFracEstimate {
+            f: late_total as f64 / counted as f64,
+            ci95: batch_stats.ci95_half_width(),
+            consumptions: counted,
+            late: late_total,
+        }
+    }
+}
+
+/// The static-streaming baseline of Section 7.4: with `K` homogeneous paths,
+/// odd/even (weighted) assignment makes each path an **independent
+/// single-path stream** of rate `µ/K` with its own startup buffer `(µ/K)·τ`;
+/// the overall late fraction is the average of the per-path ones.
+pub fn static_streaming_late_fraction(
+    paths: &[PathSpec],
+    mu: f64,
+    tau_s: f64,
+    consumptions: u64,
+    seed: u64,
+) -> LateFracEstimate {
+    let k = paths.len() as f64;
+    let mut f_sum = 0.0;
+    let mut ci_sum = 0.0;
+    let mut cons = 0;
+    let mut late = 0;
+    for (i, &p) in paths.iter().enumerate() {
+        let sub = DmpModel::new(vec![p], mu / k, tau_s);
+        let est = sub.late_fraction(consumptions / paths.len() as u64, seed ^ (i as u64) << 32);
+        f_sum += est.f;
+        ci_sum += est.ci95;
+        cons += est.consumptions;
+        late += est.late;
+    }
+    LateFracEstimate {
+        f: f_sum / k,
+        ci95: ci_sum / k,
+        consumptions: cons,
+        late,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pftk;
+
+    fn homo(p: f64, rtt_ms: f64, to: f64) -> Vec<PathSpec> {
+        vec![PathSpec::from_ms(p, rtt_ms, to); 2]
+    }
+
+    #[test]
+    fn nmax_is_mu_tau() {
+        let m = DmpModel::new(homo(0.02, 100.0, 4.0), 50.0, 8.0);
+        assert_eq!(m.nmax(), 400);
+    }
+
+    #[test]
+    fn ample_bandwidth_gives_tiny_late_fraction() {
+        // σa/µ = 2.0 at p = 0.02, TO = 4 and a healthy τ.
+        let mu = 25.0;
+        let rtt = pftk::rtt_for_ratio(0.02, 4.0, 2, mu, 2.0);
+        let m = DmpModel::new(homo(0.02, rtt * 1e3, 4.0), mu, 14.0);
+        let est = m.late_fraction(400_000, 1);
+        assert!(est.f < 5e-3, "f = {} should be small", est.f);
+    }
+
+    #[test]
+    fn starved_stream_is_mostly_late() {
+        // σa/µ < 1: TCP cannot keep up; most packets are late.
+        let mu = 25.0;
+        let rtt = pftk::rtt_for_ratio(0.02, 4.0, 2, mu, 0.7);
+        let m = DmpModel::new(homo(0.02, rtt * 1e3, 4.0), mu, 6.0);
+        let est = m.late_fraction(150_000, 2);
+        assert!(est.f > 0.2, "f = {}", est.f);
+    }
+
+    #[test]
+    fn late_fraction_decreases_with_tau() {
+        let mu = 25.0;
+        let rtt = pftk::rtt_for_ratio(0.02, 4.0, 2, mu, 1.4);
+        let paths = homo(0.02, rtt * 1e3, 4.0);
+        let f4 = DmpModel::new(paths.clone(), mu, 4.0)
+            .late_fraction(200_000, 3)
+            .f;
+        let f12 = DmpModel::new(paths, mu, 12.0).late_fraction(200_000, 3).f;
+        assert!(f12 < f4, "f(τ=12) = {f12} !< f(τ=4) = {f4}");
+    }
+
+    #[test]
+    fn late_fraction_decreases_with_ratio() {
+        let mu = 25.0;
+        let mut prev = f64::INFINITY;
+        for ratio in [1.2, 1.6, 2.0] {
+            let rtt = pftk::rtt_for_ratio(0.02, 4.0, 2, mu, ratio);
+            let m = DmpModel::new(homo(0.02, rtt * 1e3, 4.0), mu, 6.0);
+            let f = m.late_fraction(300_000, 4).f;
+            assert!(
+                f < prev,
+                "f should fall with σa/µ: ratio {ratio} gave {f} (prev {prev})"
+            );
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn dynamic_split_tracks_path_throughputs() {
+        // Heterogeneous paths: the faster path must carry more packets.
+        let paths = vec![
+            PathSpec::from_ms(0.02, 100.0, 4.0), // fast
+            PathSpec::from_ms(0.02, 300.0, 4.0), // slow (3× RTT → ~1/3 σ)
+        ];
+        let m = DmpModel::new(paths, 40.0, 8.0);
+        let mut ssa = DmpSsa::new(&m, 5);
+        let mut consumed = 0;
+        while consumed < 300_000 {
+            if ssa.step().is_some() {
+                consumed += 1;
+            }
+        }
+        let total: u64 = ssa.produced.iter().sum();
+        let share_fast = ssa.produced[0] as f64 / total as f64;
+        assert!(
+            (0.6..0.9).contains(&share_fast),
+            "fast path share {share_fast}, expected ≈ 0.75"
+        );
+    }
+
+    #[test]
+    fn buffer_never_exceeds_nmax() {
+        let m = DmpModel::new(homo(0.01, 50.0, 2.0), 50.0, 2.0);
+        let mut ssa = DmpSsa::new(&m, 6);
+        for _ in 0..200_000 {
+            ssa.step();
+            assert!(ssa.buffer_level() <= m.nmax());
+        }
+    }
+
+    #[test]
+    fn estimates_are_deterministic_per_seed() {
+        let m = DmpModel::new(homo(0.02, 150.0, 4.0), 25.0, 4.0);
+        let a = m.late_fraction(50_000, 42);
+        let b = m.late_fraction(50_000, 42);
+        assert_eq!(a.f, b.f);
+        assert_eq!(a.late, b.late);
+    }
+
+    #[test]
+    fn dmp_beats_static_streaming() {
+        // Section 7.4's headline: dynamic allocation needs a smaller τ /
+        // achieves a lower late fraction at the same τ.
+        let mu = 30.0;
+        let rtt = pftk::rtt_for_ratio(0.02, 4.0, 2, mu, 1.6);
+        let paths = homo(0.02, rtt * 1e3, 4.0);
+        let dmp = DmpModel::new(paths.clone(), mu, 10.0).late_fraction(400_000, 7);
+        let stat = static_streaming_late_fraction(&paths, mu, 10.0, 400_000, 7);
+        assert!(
+            dmp.f < stat.f,
+            "DMP f = {} should beat static f = {}",
+            dmp.f,
+            stat.f
+        );
+    }
+
+    #[test]
+    fn decides_uses_confidence_interval() {
+        let est = LateFracEstimate {
+            f: 1e-5,
+            ci95: 2e-6,
+            consumptions: 1_000_000,
+            late: 10,
+        };
+        assert_eq!(est.decides(1e-4), Some(true));
+        let est = LateFracEstimate {
+            f: 5e-4,
+            ci95: 1e-4,
+            consumptions: 1_000_000,
+            late: 500,
+        };
+        assert_eq!(est.decides(1e-4), Some(false));
+        let est = LateFracEstimate {
+            f: 1.1e-4,
+            ci95: 5e-5,
+            consumptions: 1_000_000,
+            late: 110,
+        };
+        assert_eq!(est.decides(1e-4), None);
+    }
+}

@@ -1,0 +1,193 @@
+//! The PFTK steady-state TCP throughput formula (Padhye, Firoiu, Towsley,
+//! Kurose, SIGCOMM'98) — reference \[24\] of the paper.
+//!
+//! The paper uses this formula in two places: to dial the knob
+//! `σ_a/µ` (fixing `p` and `T_O` fixes the per-round throughput `σR = σ·R`,
+//! then `R` or `µ` is varied), and to choose the second path's loss rate in
+//! the heterogeneity study (Case 2) so both scenarios have the same aggregate
+//! achievable throughput.
+
+use dmp_core::spec::PathSpec;
+
+/// Number of segments acknowledged per ACK (2 with delayed ACKs).
+pub const DELAYED_ACK_B: f64 = 2.0;
+
+/// Achievable steady-state TCP throughput in **packets per second** for a
+/// backlogged Reno flow over a path with loss `p`, RTT `R` (s), and first
+/// retransmission timeout `T0 = to_ratio·R` (s):
+///
+/// ```text
+/// σ ≈ 1 / ( R·√(2bp/3) + T0 · min(1, 3·√(3bp/8)) · p · (1 + 32p²) )
+/// ```
+pub fn throughput_pps(path: &PathSpec) -> f64 {
+    let p = path.loss;
+    assert!(p > 0.0 && p < 1.0, "loss must be in (0,1), got {p}");
+    let b = DELAYED_ACK_B;
+    let r = path.rtt_s;
+    let t0 = path.rto_s();
+    let term_fast = r * (2.0 * b * p / 3.0).sqrt();
+    let term_to = t0 * (1.0f64).min(3.0 * (3.0 * b * p / 8.0).sqrt()) * p * (1.0 + 32.0 * p * p);
+    1.0 / (term_fast + term_to)
+}
+
+/// Per-round throughput `σR = σ·R` in **packets per round trip**. Depends
+/// only on `p` and `T_O` (not on the RTT), which is why the paper can vary
+/// `σ_a/µ` by scaling `R` alone.
+pub fn per_round_throughput(loss: f64, to_ratio: f64) -> f64 {
+    throughput_pps(&PathSpec {
+        loss,
+        rtt_s: 1.0,
+        to_ratio,
+    })
+}
+
+/// The RTT (seconds) that makes `K` homogeneous paths with loss `p` and
+/// timeout ratio `T_O` reach an aggregate-throughput-to-bitrate ratio
+/// `σ_a/µ = ratio` for a video of `mu` packets per second:
+/// `R = K·σR / (ratio·µ)`.
+pub fn rtt_for_ratio(loss: f64, to_ratio: f64, k: usize, mu: f64, ratio: f64) -> f64 {
+    assert!(ratio > 0.0 && mu > 0.0);
+    k as f64 * per_round_throughput(loss, to_ratio) / (ratio * mu)
+}
+
+/// The playback rate µ (packets per second) that makes `K` homogeneous paths
+/// reach `σ_a/µ = ratio` at a fixed RTT.
+pub fn mu_for_ratio(loss: f64, rtt_s: f64, to_ratio: f64, k: usize, ratio: f64) -> f64 {
+    let sigma = throughput_pps(&PathSpec {
+        loss,
+        rtt_s,
+        to_ratio,
+    });
+    k as f64 * sigma / ratio
+}
+
+/// Invert the formula: the loss rate giving throughput `target_pps` on a path
+/// with the given RTT and timeout ratio. Solved by bisection on `p`
+/// (throughput is strictly decreasing in `p`).
+///
+/// This is how the heterogeneity study's Case 2 sets `p₂`: given `p₁ = γ·pᵒ`,
+/// `p₂` is chosen so that `σ(p₁) + σ(p₂) = 2σ(pᵒ)`.
+pub fn loss_for_throughput(target_pps: f64, rtt_s: f64, to_ratio: f64) -> f64 {
+    assert!(target_pps > 0.0);
+    let f = |p: f64| {
+        throughput_pps(&PathSpec {
+            loss: p,
+            rtt_s,
+            to_ratio,
+        })
+    };
+    let (mut lo, mut hi) = (1e-7, 0.9);
+    assert!(
+        f(lo) >= target_pps && f(hi) <= target_pps,
+        "target {target_pps} pkt/s out of invertible range [{}, {}]",
+        f(hi),
+        f(lo),
+    );
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) > target_pps {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hand_computed_value() {
+        // p = 0.02, TO = 4, b = 2: σR ≈ 5.18 packets per round.
+        let sr = per_round_throughput(0.02, 4.0);
+        assert!((sr - 5.18).abs() < 0.03, "σR = {sr}");
+    }
+
+    #[test]
+    fn reproduces_papers_excluded_600ms_setting() {
+        // The paper omits (p = 0.004, µ = 25, σa/µ = 1.6, TO = 4) because the
+        // required RTT exceeds 600 ms. Check our inversion agrees.
+        let r = rtt_for_ratio(0.004, 4.0, 2, 25.0, 1.6);
+        assert!(r > 0.6, "R = {r} s should exceed 600 ms");
+        // …while p = 0.02 at the same point is a practical 260 ms.
+        let r = rtt_for_ratio(0.02, 4.0, 2, 25.0, 1.6);
+        assert!((0.2..0.32).contains(&r), "R = {r}");
+    }
+
+    #[test]
+    fn throughput_decreases_with_loss_and_rtt() {
+        let base = PathSpec {
+            loss: 0.01,
+            rtt_s: 0.1,
+            to_ratio: 2.0,
+        };
+        let worse_loss = PathSpec { loss: 0.02, ..base };
+        let worse_rtt = PathSpec { rtt_s: 0.2, ..base };
+        assert!(throughput_pps(&worse_loss) < throughput_pps(&base));
+        assert!(throughput_pps(&worse_rtt) < throughput_pps(&base));
+    }
+
+    #[test]
+    fn per_round_is_rtt_invariant() {
+        let a = throughput_pps(&PathSpec {
+            loss: 0.02,
+            rtt_s: 0.1,
+            to_ratio: 3.0,
+        }) * 0.1;
+        let b = throughput_pps(&PathSpec {
+            loss: 0.02,
+            rtt_s: 0.3,
+            to_ratio: 3.0,
+        }) * 0.3;
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inversion_round_trips() {
+        for &p in &[0.004, 0.01, 0.02, 0.04, 0.1] {
+            let spec = PathSpec {
+                loss: p,
+                rtt_s: 0.15,
+                to_ratio: 4.0,
+            };
+            let sigma = throughput_pps(&spec);
+            let p_back = loss_for_throughput(sigma, 0.15, 4.0);
+            assert!((p_back - p).abs() / p < 1e-6, "p={p} back={p_back}");
+        }
+    }
+
+    #[test]
+    fn heterogeneity_case2_example() {
+        // Paper §7.2 Case 2: pᵒ = 0.02, γ = 2 → p₁ = 0.04 and p₂ ≈ 0.012.
+        let sigma_o = throughput_pps(&PathSpec {
+            loss: 0.02,
+            rtt_s: 0.1,
+            to_ratio: 4.0,
+        });
+        let sigma_1 = throughput_pps(&PathSpec {
+            loss: 0.04,
+            rtt_s: 0.1,
+            to_ratio: 4.0,
+        });
+        let p2 = loss_for_throughput(2.0 * sigma_o - sigma_1, 0.1, 4.0);
+        assert!((p2 - 0.012).abs() < 0.002, "p₂ = {p2}");
+        // γ = 1.5 → p₁ = 0.03, p₂ ≈ 0.014.
+        let sigma_1 = throughput_pps(&PathSpec {
+            loss: 0.03,
+            rtt_s: 0.1,
+            to_ratio: 4.0,
+        });
+        let p2 = loss_for_throughput(2.0 * sigma_o - sigma_1, 0.1, 4.0);
+        assert!((p2 - 0.014).abs() < 0.002, "p₂ = {p2}");
+    }
+
+    #[test]
+    fn mu_for_ratio_consistent_with_rtt_for_ratio() {
+        let mu = 50.0;
+        let r = rtt_for_ratio(0.02, 4.0, 2, mu, 1.6);
+        let mu_back = mu_for_ratio(0.02, r, 4.0, 2, 1.6);
+        assert!((mu_back - mu).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,176 @@
+//! Required-startup-delay search: the smallest τ such that the fraction of
+//! late packets drops below a threshold (the paper uses `f < 10⁻⁴`), used by
+//! Figures 9, 10, and 11.
+//!
+//! `f(τ)` is monotonically non-increasing in τ (a larger buffer cap only
+//! helps), so a bracketing + bisection search applies. Each point is
+//! evaluated adaptively: simulation effort grows until the confidence
+//! interval decides the comparison against the threshold or a budget is
+//! exhausted.
+
+use crate::dmp::{DmpModel, DmpSsa, LateFracEstimate};
+
+/// Tuning of the search.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Decision threshold on the late fraction (paper: 1e-4).
+    pub threshold: f64,
+    /// τ resolution, seconds (bisection stops at this width).
+    pub resolution_s: f64,
+    /// Largest τ considered before declaring failure, seconds.
+    pub tau_max_s: f64,
+    /// Consumption events per evaluation block.
+    pub block: u64,
+    /// Maximum consumption events per τ evaluation.
+    pub max_consumptions: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self {
+            threshold: 1e-4,
+            resolution_s: 0.5,
+            tau_max_s: 120.0,
+            block: 200_000,
+            max_consumptions: 2_000_000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Result of one τ evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct TauEval {
+    /// Startup delay evaluated.
+    pub tau_s: f64,
+    /// Estimate obtained.
+    pub estimate: LateFracEstimate,
+    /// Whether the point is below the threshold (by point estimate when the
+    /// CI does not decide).
+    pub below: bool,
+}
+
+/// Evaluate `f(τ)` adaptively for the model produced by `model_at(τ)`.
+pub fn evaluate_tau(model: &DmpModel, opts: &SearchOptions) -> TauEval {
+    let mut ssa = DmpSsa::new(model, opts.seed ^ (model.tau_s * 1e3) as u64);
+    let mut spent = 0u64;
+    let mut est = ssa.run(opts.block);
+    spent += opts.block;
+    while est.decides(opts.threshold).is_none() && spent < opts.max_consumptions {
+        // Keep the same trajectory going: pool the counts.
+        let more = ssa.run(opts.block);
+        est = LateFracEstimate {
+            f: (est.late + more.late) as f64 / (est.consumptions + more.consumptions) as f64,
+            ci95: est.ci95 * (spent as f64 / (spent + opts.block) as f64).sqrt(),
+            consumptions: est.consumptions + more.consumptions,
+            late: est.late + more.late,
+        };
+        spent += opts.block;
+    }
+    let below = est
+        .decides(opts.threshold)
+        .unwrap_or(est.f < opts.threshold);
+    TauEval {
+        tau_s: model.tau_s,
+        estimate: est,
+        below,
+    }
+}
+
+/// Find the smallest τ (to `resolution_s`) with `f(τ) < threshold`, for a
+/// family of models parameterised by τ. Returns `None` if even `tau_max_s`
+/// fails.
+pub fn required_startup_delay(
+    mut model_at: impl FnMut(f64) -> DmpModel,
+    opts: &SearchOptions,
+) -> Option<f64> {
+    // Bracket: grow τ geometrically until below the threshold.
+    let mut lo = 0.0f64; // known ≥ threshold (τ=0 ⇒ everything late)
+    let mut hi = 2.0f64;
+    loop {
+        if hi > opts.tau_max_s {
+            return None;
+        }
+        let eval = evaluate_tau(&model_at(hi), opts);
+        if eval.below {
+            break;
+        }
+        lo = hi;
+        hi *= 2.0;
+    }
+    // Bisect.
+    while hi - lo > opts.resolution_s {
+        let mid = 0.5 * (lo + hi);
+        let eval = evaluate_tau(&model_at(mid), opts);
+        if eval.below {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pftk;
+    use dmp_core::spec::PathSpec;
+
+    fn model_family(ratio: f64, mu: f64) -> impl FnMut(f64) -> DmpModel {
+        let rtt = pftk::rtt_for_ratio(0.02, 4.0, 2, mu, ratio);
+        move |tau| {
+            DmpModel::new(
+                vec![
+                    PathSpec {
+                        loss: 0.02,
+                        rtt_s: rtt,
+                        to_ratio: 4.0
+                    };
+                    2
+                ],
+                mu,
+                tau,
+            )
+        }
+    }
+
+    fn quick_opts() -> SearchOptions {
+        SearchOptions {
+            threshold: 1e-3, // coarser threshold keeps the test fast
+            block: 60_000,
+            max_consumptions: 240_000,
+            resolution_s: 1.0,
+            ..SearchOptions::default()
+        }
+    }
+
+    #[test]
+    fn finds_a_reasonable_delay_at_healthy_ratio() {
+        let tau = required_startup_delay(model_family(1.8, 25.0), &quick_opts());
+        let tau = tau.expect("ratio 1.8 must be satisfiable");
+        assert!((1.0..30.0).contains(&tau), "τ = {tau}");
+    }
+
+    #[test]
+    fn higher_ratio_needs_smaller_delay() {
+        let t_low = required_startup_delay(model_family(1.4, 25.0), &quick_opts());
+        let t_high = required_startup_delay(model_family(2.0, 25.0), &quick_opts());
+        let (t_low, t_high) = (t_low.expect("1.4 ok"), t_high.expect("2.0 ok"));
+        assert!(
+            t_high <= t_low,
+            "τ(σa/µ=2.0) = {t_high} should not exceed τ(σa/µ=1.4) = {t_low}"
+        );
+    }
+
+    #[test]
+    fn infeasible_ratio_returns_none() {
+        // σa/µ < 1 can never reach a small late fraction.
+        let mut opts = quick_opts();
+        opts.tau_max_s = 20.0;
+        let tau = required_startup_delay(model_family(0.8, 25.0), &opts);
+        assert!(tau.is_none());
+    }
+}

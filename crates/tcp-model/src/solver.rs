@@ -1,0 +1,304 @@
+//! Exact stationary solver for finite continuous-time Markov chains.
+//!
+//! The paper solved its model numerically with the TANGRAM-II environment.
+//! The full joint DMP state space is far too large for exact solution, so the
+//! production path uses stochastic simulation ([`crate::dmp`]); this module
+//! provides the exact machinery for *small* chains so the simulation can be
+//! cross-validated, and solves reduced DMP instances exactly in the tests.
+//!
+//! Method: enumerate the reachable state space (BFS from the initial state),
+//! build the sparse generator `Q`, uniformise (`P = I + Q/Λ`), and power-
+//! iterate `π ← πP` to the fixed point `πQ = 0`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A finite CTMC described by its transition function.
+pub trait Ctmc {
+    /// State type (must be hashable for the enumeration).
+    type State: Clone + Eq + Hash;
+
+    /// The state the chain starts in (used as the BFS root; every recurrent
+    /// state must be reachable from it).
+    fn initial(&self) -> Self::State;
+
+    /// All outgoing transitions `(target, rate)` from `s`, with `rate > 0`.
+    fn transitions(&self, s: &Self::State) -> Vec<(Self::State, f64)>;
+}
+
+/// The stationary distribution of a finite CTMC.
+#[derive(Debug, Clone)]
+pub struct Stationary<S> {
+    /// Enumerated states.
+    pub states: Vec<S>,
+    /// `pi[i]` is the stationary probability of `states[i]`.
+    pub pi: Vec<f64>,
+    index: HashMap<S, usize>,
+    /// Power iterations performed.
+    pub iterations: u32,
+    /// Final L1 change per iteration (convergence residual).
+    pub residual: f64,
+}
+
+impl<S: Clone + Eq + Hash> Stationary<S> {
+    /// Probability of a single state (0 if unreachable).
+    pub fn prob(&self, s: &S) -> f64 {
+        self.index.get(s).map_or(0.0, |&i| self.pi[i])
+    }
+
+    /// Total probability of all states satisfying `pred`.
+    pub fn prob_where(&self, mut pred: impl FnMut(&S) -> bool) -> f64 {
+        self.states
+            .iter()
+            .zip(&self.pi)
+            .filter(|(s, _)| pred(s))
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    /// Expectation of `f` under the stationary law.
+    pub fn expect(&self, mut f: impl FnMut(&S) -> f64) -> f64 {
+        self.states
+            .iter()
+            .zip(&self.pi)
+            .map(|(s, p)| f(s) * p)
+            .sum()
+    }
+}
+
+/// Options for [`solve_stationary`].
+#[derive(Debug, Clone, Copy)]
+pub struct SolveOptions {
+    /// Abort if the reachable state space exceeds this many states.
+    pub max_states: usize,
+    /// Maximum power iterations.
+    pub max_iterations: u32,
+    /// Stop when the L1 change of `π` in one sweep falls below this.
+    pub tolerance: f64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self {
+            max_states: 2_000_000,
+            max_iterations: 200_000,
+            tolerance: 1e-12,
+        }
+    }
+}
+
+/// Solve for the stationary distribution of `chain`.
+///
+/// # Panics
+/// Panics if the reachable state space exceeds `opts.max_states` or the
+/// chain is degenerate (a state with no outgoing transitions that is not
+/// absorbing-by-design).
+pub fn solve_stationary<C: Ctmc>(chain: &C, opts: SolveOptions) -> Stationary<C::State> {
+    // --- enumerate reachable states ---
+    let mut states: Vec<C::State> = vec![chain.initial()];
+    let mut index: HashMap<C::State, usize> = HashMap::new();
+    index.insert(states[0].clone(), 0);
+    // Sparse rows: row[i] = Vec<(j, rate)>.
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut head = 0;
+    while head < states.len() {
+        let s = states[head].clone();
+        let ts = chain.transitions(&s);
+        let mut row = Vec::with_capacity(ts.len());
+        for (t, rate) in ts {
+            assert!(rate > 0.0, "transition rates must be positive");
+            let j = *index.entry(t.clone()).or_insert_with(|| {
+                states.push(t);
+                states.len() - 1
+            });
+            row.push((j, rate));
+        }
+        rows.push(row);
+        head += 1;
+        assert!(
+            states.len() <= opts.max_states,
+            "state space exceeds {} states — use the SSA solver instead",
+            opts.max_states
+        );
+    }
+    let n = states.len();
+
+    // --- uniformisation ---
+    let lambda = rows
+        .iter()
+        .map(|r| r.iter().map(|&(_, q)| q).sum::<f64>())
+        .fold(0.0f64, f64::max)
+        * 1.02
+        + 1e-12;
+
+    // P = I + Q/Λ: self-loop weight 1 - Σq/Λ.
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+    while iterations < opts.max_iterations && residual > opts.tolerance {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        for (i, row) in rows.iter().enumerate() {
+            let out: f64 = row.iter().map(|&(_, q)| q).sum();
+            next[i] += pi[i] * (1.0 - out / lambda);
+            for &(j, q) in row {
+                next[j] += pi[i] * q / lambda;
+            }
+        }
+        residual = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut pi, &mut next);
+        iterations += 1;
+    }
+    // Normalise against drift.
+    let total: f64 = pi.iter().sum();
+    pi.iter_mut().for_each(|x| *x /= total);
+
+    Stationary {
+        states,
+        pi,
+        index,
+        iterations,
+        residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// M/M/1/K queue: arrivals λ, service µ, capacity K. Closed-form
+    /// stationary distribution π_n ∝ ρⁿ.
+    struct Mm1k {
+        lambda: f64,
+        mu: f64,
+        k: u32,
+    }
+
+    impl Ctmc for Mm1k {
+        type State = u32;
+        fn initial(&self) -> u32 {
+            0
+        }
+        fn transitions(&self, &s: &u32) -> Vec<(u32, f64)> {
+            let mut t = Vec::new();
+            if s < self.k {
+                t.push((s + 1, self.lambda));
+            }
+            if s > 0 {
+                t.push((s - 1, self.mu));
+            }
+            t
+        }
+    }
+
+    #[test]
+    fn mm1k_matches_closed_form() {
+        let q = Mm1k {
+            lambda: 3.0,
+            mu: 5.0,
+            k: 10,
+        };
+        let sol = solve_stationary(&q, SolveOptions::default());
+        let rho: f64 = 3.0 / 5.0;
+        let norm: f64 = (0..=10).map(|n| rho.powi(n)).sum();
+        for n in 0..=10u32 {
+            let expect = rho.powi(n as i32) / norm;
+            let got = sol.prob(&n);
+            assert!((got - expect).abs() < 1e-9, "π_{n}: {got} vs {expect}");
+        }
+        // Blocking probability = π_K.
+        let block = sol.prob(&10);
+        assert!((block - rho.powi(10) / norm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_state_chain() {
+        // on→off at rate a, off→on at rate b ⇒ π_on = b/(a+b).
+        struct OnOff;
+        impl Ctmc for OnOff {
+            type State = bool;
+            fn initial(&self) -> bool {
+                true
+            }
+            fn transitions(&self, &s: &bool) -> Vec<(bool, f64)> {
+                if s {
+                    vec![(false, 2.0)]
+                } else {
+                    vec![(true, 6.0)]
+                }
+            }
+        }
+        let sol = solve_stationary(&OnOff, SolveOptions::default());
+        assert!((sol.prob(&true) - 0.75).abs() < 1e-10);
+        assert!((sol.prob_where(|&s| !s) - 0.25).abs() < 1e-10);
+        assert!((sol.expect(|&s| if s { 1.0 } else { 0.0 }) - 0.75).abs() < 1e-10);
+    }
+
+    /// Cross-validate the SSA against the exact solver on a birth–death
+    /// chain that mimics the buffer process: producer bursts of size 2 at
+    /// rate a (capped at Nmax), consumer at rate µ, floor at -F.
+    struct BurstBuffer {
+        a: f64,
+        mu: f64,
+        nmax: i64,
+        floor: i64,
+    }
+    impl Ctmc for BurstBuffer {
+        type State = i64;
+        fn initial(&self) -> i64 {
+            0
+        }
+        fn transitions(&self, &n: &i64) -> Vec<(i64, f64)> {
+            let mut t = Vec::new();
+            if n < self.nmax {
+                t.push(((n + 2).min(self.nmax), self.a));
+            }
+            if n > self.floor {
+                t.push((n - 1, self.mu));
+            }
+            t
+        }
+    }
+
+    #[test]
+    fn ssa_matches_exact_on_burst_buffer() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let model = BurstBuffer {
+            a: 3.0,
+            mu: 5.0,
+            nmax: 12,
+            floor: -30,
+        };
+        let sol = solve_stationary(&model, SolveOptions::default());
+        // "Late" = consumption leaving n < 0 ⇔ consumption seen at n ≤ 0.
+        // Consumption is active only above the floor; with the floor deep
+        // enough it is effectively Poisson, so PASTA applies.
+        let f_exact = sol.prob_where(|&n| n <= 0);
+
+        // Jump-chain SSA with the same event-picking logic as DmpSsa.
+        let mut rng = SmallRng::seed_from_u64(123);
+        let mut n = 0i64;
+        let (mut late, mut cons) = (0u64, 0u64);
+        for _ in 0..4_000_000u64 {
+            let prod_rate = if n < model.nmax { model.a } else { 0.0 };
+            let cons_rate = if n > model.floor { model.mu } else { 0.0 };
+            let total = prod_rate + cons_rate;
+            let pick = rng.gen_range(0.0..total);
+            if pick < cons_rate {
+                n -= 1;
+                cons += 1;
+                if n < 0 {
+                    late += 1;
+                }
+            } else {
+                n = (n + 2).min(model.nmax);
+            }
+        }
+        let f_ssa = late as f64 / cons as f64;
+        assert!(
+            (f_ssa - f_exact).abs() / f_exact < 0.05,
+            "SSA {f_ssa:.5} vs exact {f_exact:.5}"
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Stored-video streaming — the extension the paper leaves as future work
+//! ("it is also applicable to stored-video streaming").
+//!
+//! The difference from live streaming is the producer constraint: for a
+//! stored video the server holds the entire file, so the TCP flows are never
+//! throttled by the generation process — the client can buffer arbitrarily
+//! far ahead (`N` is unbounded above instead of capped at `µτ`). Lateness
+//! is then a *transient* phenomenon over the finite video, not a stationary
+//! one, so this module runs finite-horizon Monte Carlo over the same
+//! per-flow chains.
+
+use dmp_core::stats::OnlineStats;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::chain::TcpChain;
+use crate::dmp::DmpModel;
+
+/// Result of a stored-video analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct StoredVideoResult {
+    /// Mean fraction of late packets over the replications.
+    pub f: f64,
+    /// 95% CI half-width across replications.
+    pub ci95: f64,
+    /// Replications run.
+    pub runs: u32,
+}
+
+/// Estimate the fraction of late packets when streaming a **stored** video
+/// of `video_packets` packets through the model's paths with startup delay
+/// `model.tau_s` (prefetch runs during the startup delay, and the sender may
+/// work arbitrarily far ahead afterwards).
+pub fn stored_video_late_fraction(
+    model: &DmpModel,
+    video_packets: u64,
+    runs: u32,
+    seed: u64,
+) -> StoredVideoResult {
+    assert!(runs >= 1 && video_packets > 0);
+    let mut stats = OnlineStats::new();
+    for r in 0..runs {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (u64::from(r) << 20));
+        stats.push(one_run(model, video_packets, &mut rng));
+    }
+    StoredVideoResult {
+        f: stats.mean(),
+        ci95: stats.ci95_half_width(),
+        runs,
+    }
+}
+
+/// One transient run: real-time event race between the K chains (producing
+/// until the file is fully transferred) and the consumer (Poisson µ,
+/// starting at τ, consuming `video_packets` packets).
+fn one_run(model: &DmpModel, video_packets: u64, rng: &mut SmallRng) -> f64 {
+    let mut chains: Vec<TcpChain> = model
+        .paths
+        .iter()
+        .map(|&p| TcpChain::new(p, model.wmax))
+        .collect();
+    let sample_exp = |rate: f64, rng: &mut SmallRng| -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() / rate
+    };
+    let mut next_prod: Vec<f64> = chains.iter().map(|c| sample_exp(c.rate(), rng)).collect();
+    let mut t_cons = model.tau_s + sample_exp(model.mu, rng);
+
+    let mut produced = 0u64;
+    let mut consumed = 0u64;
+    let mut late = 0u64;
+    let mut n: i64 = 0;
+
+    while consumed < video_packets {
+        // Next event: earliest production (if the file is not finished) or
+        // the next consumption.
+        let (k_min, t_prod) = next_prod
+            .iter()
+            .cloned()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+            .expect("at least one path");
+        if produced < video_packets && t_prod < t_cons {
+            let delivered = u64::from(chains[k_min].step(rng).delivered);
+            let usable = delivered.min(video_packets - produced);
+            produced += usable;
+            n += usable as i64;
+            next_prod[k_min] = t_prod + sample_exp(chains[k_min].rate(), rng);
+        } else if produced >= video_packets && t_prod < t_cons {
+            // File fully transferred: silence this producer.
+            next_prod[k_min] = f64::INFINITY;
+        } else {
+            consumed += 1;
+            n -= 1;
+            if n < 0 {
+                late += 1;
+            }
+            t_cons += sample_exp(model.mu, rng);
+        }
+    }
+    late as f64 / video_packets as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmp_core::spec::PathSpec;
+
+    fn model(ratio_hint_rtt_ms: f64, mu: f64, tau: f64) -> DmpModel {
+        DmpModel::new(
+            vec![PathSpec::from_ms(0.02, ratio_hint_rtt_ms, 4.0); 2],
+            mu,
+            tau,
+        )
+    }
+
+    #[test]
+    fn stored_video_is_never_worse_than_live() {
+        // Same paths, same µ, same τ: the stored sender can work ahead, so
+        // its late fraction cannot (statistically) exceed live streaming's.
+        let m = model(180.0, 25.0, 6.0);
+        let live = m.late_fraction(300_000, 3).f;
+        let stored = stored_video_late_fraction(&m, 30_000, 8, 3).f;
+        assert!(
+            stored <= live * 1.2 + 1e-4,
+            "stored {stored} should not exceed live {live}"
+        );
+    }
+
+    #[test]
+    fn ample_bandwidth_stored_video_is_clean() {
+        let m = model(60.0, 25.0, 6.0); // short RTT → big headroom
+        let r = stored_video_late_fraction(&m, 20_000, 5, 7);
+        assert!(r.f < 1e-3, "f = {}", r.f);
+    }
+
+    #[test]
+    fn starved_stored_video_is_still_late() {
+        // Working ahead cannot create bandwidth: below ratio 1 the stored
+        // video is late too.
+        let m = model(700.0, 25.0, 4.0); // huge RTT → σa < µ
+        let r = stored_video_late_fraction(&m, 10_000, 5, 9);
+        assert!(r.f > 0.2, "f = {}", r.f);
+    }
+
+    #[test]
+    fn longer_prefetch_helps_stored_video() {
+        let f_short = stored_video_late_fraction(&model(240.0, 25.0, 2.0), 20_000, 8, 11).f;
+        let f_long = stored_video_late_fraction(&model(240.0, 25.0, 15.0), 20_000, 8, 11).f;
+        assert!(f_long <= f_short + 1e-9, "{f_long} !<= {f_short}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = model(200.0, 25.0, 4.0);
+        let a = stored_video_late_fraction(&m, 5_000, 3, 42);
+        let b = stored_video_late_fraction(&m, 5_000, 3, 42);
+        assert_eq!(a.f, b.f);
+    }
+}

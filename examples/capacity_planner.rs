@@ -1,0 +1,103 @@
+//! Capacity planner: a downstream-user tool built on the model. Given the
+//! TCP-level characteristics of your paths (loss, RTT, timeout ratio), it
+//! reports the maximum video bitrate each startup-delay budget supports —
+//! for single-path, static multipath, and DMP streaming.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planner [loss] [rtt_ms] [to_ratio]
+//! ```
+
+use mptcp_streaming::prelude::*;
+use mptcp_streaming::tcp_model::{calibrate, static_streaming_late_fraction};
+
+const THRESHOLD: f64 = 1e-4;
+
+fn arg(n: usize, default: f64) -> f64 {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Largest µ (pkt/s) whose late fraction stays below the threshold at τ,
+/// found by bisection over `[mu_lo, mu_hi]`.
+///
+/// Note the lower bracket: the buffer cap is `N_max = µτ`, so a *very* small
+/// µ also means a tiny client buffer and the late fraction is not monotone
+/// near zero — the planner starts the search at a fifth of the aggregate
+/// throughput, where the buffer is meaningful.
+fn max_mu(f_of_mu: impl Fn(f64) -> f64, mu_lo: f64, mu_hi: f64) -> Option<f64> {
+    let (mut lo, mut hi) = (mu_lo, mu_hi);
+    if f_of_mu(lo) >= THRESHOLD {
+        return None;
+    }
+    for _ in 0..18 {
+        let mid = 0.5 * (lo + hi);
+        if f_of_mu(mid) < THRESHOLD {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+fn main() {
+    let path = PathSpec::from_ms(arg(1, 0.02), arg(2, 150.0), arg(3, 3.0));
+    let wmax = DmpModel::DEFAULT_WMAX;
+    let sigma = calibrate::chain_throughput_pps(&path, wmax);
+    let pkt_kbps = 1500.0 * 8.0 / 1e3;
+
+    println!(
+        "path: loss {:.3}, RTT {:.0} ms, T_O {:.1}  →  achievable TCP throughput ≈ {:.1} pkt/s ({:.0} kbps)",
+        path.loss,
+        path.rtt_s * 1e3,
+        path.to_ratio,
+        sigma,
+        sigma * pkt_kbps
+    );
+    println!("\nmax supported video bitrate (kbps at 1500 B packets), f < 1e-4:\n");
+    println!(
+        "{:>8}  {:>12}  {:>16}  {:>12}",
+        "τ (s)", "single path", "static 2-path", "DMP 2-path"
+    );
+
+    let kbps = |m: Option<f64>| m.map_or("-".to_string(), |mu| format!("{:.0}", mu * pkt_kbps));
+    for tau in [6.0, 10.0, 16.0, 24.0] {
+        let single = max_mu(
+            |mu| {
+                DmpModel::new(vec![path], mu, tau)
+                    .late_fraction(250_000, 11)
+                    .f
+            },
+            0.2 * sigma,
+            2.0 * sigma,
+        );
+        let dmp = max_mu(
+            |mu| {
+                DmpModel::new(vec![path; 2], mu, tau)
+                    .late_fraction(250_000, 11)
+                    .f
+            },
+            0.4 * sigma,
+            3.0 * sigma,
+        );
+        let stat = max_mu(
+            |mu| static_streaming_late_fraction(&[path; 2], mu, tau, 250_000, 11).f,
+            0.4 * sigma,
+            3.0 * sigma,
+        );
+        println!(
+            "{:>8.0}  {:>12}  {:>16}  {:>12}",
+            tau,
+            kbps(single),
+            kbps(stat),
+            kbps(dmp)
+        );
+    }
+    println!(
+        "\nDMP-streaming turns the second path into usable capacity: its supported\n\
+         bitrate approaches the full aggregate (σa/µ → 1.6) while static splitting\n\
+         keeps per-path reserves and single-path needs σ/µ ≈ 2."
+    );
+}

@@ -1,0 +1,87 @@
+//! The calibration contract between the two TCP implementations: the
+//! analytical chain (`tcp-model`) must track the packet-level TCP
+//! (`netsim`) under controlled, independent loss — this is what makes
+//! feeding measured parameters into the model meaningful.
+
+use dmp_core::spec::PathSpec;
+use netsim::app::App;
+use netsim::link::LinkSpec;
+use netsim::sim::{Sim, SimApi};
+use netsim::tcp::{SinkConfig, TcpConfig};
+use netsim::SECOND;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tcp_model::TcpChain;
+
+struct Starter(u32);
+impl App for Starter {
+    fn start(&mut self, api: &mut SimApi<'_>) {
+        api.set_backlogged(self.0, None);
+    }
+}
+
+/// Backlogged netsim TCP over a Bernoulli-loss link: (throughput pps,
+/// measured RTT s, measured T_O ratio).
+fn netsim_throughput(p: f64, rtt_ms: f64, seconds: u64, seed: u64) -> (f64, f64, f64) {
+    let mut sim = Sim::new(seed);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    let spec = LinkSpec::from_table(50.0, rtt_ms / 2.0, 4_000).with_random_loss(p);
+    let fwd = sim.add_link(a, b, spec);
+    let rev = sim.add_link(b, a, LinkSpec::from_table(50.0, rtt_ms / 2.0, 4_000));
+    sim.add_route(a, b, fwd);
+    sim.add_route(b, a, rev);
+    let flow = sim.add_flow(a, b, TcpConfig::default(), SinkConfig::default());
+    sim.add_app(Box::new(Starter(flow)));
+    sim.run_until(seconds * SECOND);
+    let pps = sim.sink(flow).stats.delivered as f64 / seconds as f64;
+    let rtt = sim.sender(flow).rtt.mean_rtt_secs().expect("rtt samples");
+    let to = sim.sender(flow).rtt.to_ratio().expect("rto samples");
+    (pps, rtt, to)
+}
+
+#[test]
+fn chain_tracks_packet_level_tcp_across_loss_rates() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    for &(p, rtt_ms) in &[(0.005, 160.0), (0.02, 160.0), (0.05, 120.0)] {
+        let (sim_pps, rtt_s, to) = netsim_throughput(p, rtt_ms, 2_000, 13);
+        let chain_pps = TcpChain::achievable_throughput(
+            PathSpec {
+                loss: p,
+                rtt_s,
+                to_ratio: to,
+            },
+            64,
+            400_000,
+            &mut rng,
+        );
+        let ratio = chain_pps / sim_pps;
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "p={p}: chain {chain_pps:.1} pps vs netsim {sim_pps:.1} pps (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn both_scale_inversely_with_rtt() {
+    let (fast, _, _) = netsim_throughput(0.02, 80.0, 1_000, 21);
+    let (slow, _, _) = netsim_throughput(0.02, 240.0, 1_000, 21);
+    let ratio = fast / slow;
+    assert!(
+        (2.3..3.8).contains(&ratio),
+        "3× RTT should cost ≈3× throughput: {ratio:.2}"
+    );
+}
+
+#[test]
+fn loss_hurts_both_in_the_padhye_way() {
+    // Quadrupling p should roughly halve throughput (σ ∝ 1/√p region).
+    let (lo, _, _) = netsim_throughput(0.01, 160.0, 1_500, 31);
+    let (hi, _, _) = netsim_throughput(0.04, 160.0, 1_500, 31);
+    let ratio = lo / hi;
+    assert!(
+        (1.6..3.2).contains(&ratio),
+        "σ(p)/σ(4p) should be ≈2–2.5: {ratio:.2}"
+    );
+}

@@ -1,0 +1,113 @@
+//! Cross-crate validation in the spirit of the paper's Section 5: run the
+//! packet-level simulator, feed the measured path parameters into the
+//! analytical model, and check that the two views of DMP-streaming agree on
+//! ordering and rough magnitude. Also checks the simulator-level scheme
+//! comparisons that the model claims (DMP ≥ static, multipath helps).
+
+use dmp_core::spec::{PathSpec, SchedulerKind};
+use dmp_sim::{run_batch, setting, ExperimentSpec};
+use tcp_model::DmpModel;
+
+fn batch(name: &str, scheduler: SchedulerKind, taus: &[f64]) -> dmp_sim::BatchOutput {
+    let mut spec = ExperimentSpec::new(*setting(name).unwrap(), scheduler, 600.0, 41);
+    spec.warmup_s = 15.0;
+    run_batch(&spec, 4, taus)
+}
+
+#[test]
+fn measured_parameters_look_like_table2() {
+    let b = batch("2-2", SchedulerKind::Dynamic, &[]);
+    for k in 0..2 {
+        let p = b.loss[k].mean();
+        let r = b.rtt[k].mean();
+        let to = b.to_ratio[k].mean();
+        assert!((0.003..0.08).contains(&p), "p_{k} = {p}");
+        assert!((0.05..0.40).contains(&r), "R_{k} = {r}");
+        assert!((1.2..4.5).contains(&to), "TO_{k} = {to}");
+    }
+    // Homogeneous paths: losses within a factor ~3 of each other on average.
+    let ratio = b.loss[0].mean() / b.loss[1].mean();
+    assert!((0.3..3.0).contains(&ratio), "path loss asymmetry {ratio}");
+}
+
+#[test]
+fn sim_lateness_is_monotone_in_tau_and_model_tracks_it() {
+    let taus = [3.0, 5.0, 8.0];
+    let b = batch("2-2", SchedulerKind::Dynamic, &taus);
+    let f: Vec<f64> = b.late_playback.iter().map(|(_, s)| s.mean()).collect();
+    assert!(f[0] >= f[1] && f[1] >= f[2], "not monotone: {f:?}");
+    assert!(f[0] > 0.0, "setting 2-2 must show some lateness at τ = 3 s");
+
+    // Model at the measured parameters. The reconstruction is conservative
+    // (it can over-predict lateness by up to about an order of magnitude at
+    // comfortable throughput ratios — see EXPERIMENTS.md); we require the
+    // paper's qualitative claim: same ordering, magnitudes within two orders.
+    let paths: Vec<PathSpec> = (0..2)
+        .map(|k| PathSpec {
+            loss: b.loss[k].mean().max(1e-5),
+            rtt_s: b.rtt[k].mean(),
+            to_ratio: b.to_ratio[k].mean().max(1.0),
+        })
+        .collect();
+    let video_mu = setting("2-2").unwrap().video.rate_pps;
+    for (i, &tau) in taus.iter().enumerate() {
+        let fm = DmpModel::new(paths.clone(), video_mu, tau)
+            .late_fraction(400_000, 5)
+            .f;
+        if f[i] > 1e-3 {
+            let ratio = fm / f[i];
+            assert!(
+                (0.01..=100.0).contains(&ratio),
+                "τ={tau}: model {fm:.2e} vs sim {:.2e}",
+                f[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn out_of_order_effect_is_negligible_in_sim() {
+    // The Section 4.1 assumption, checked on real simulation traces: playing
+    // back in arrival order gives (nearly) the same late fraction.
+    let taus = [3.0, 6.0];
+    let b = batch("1-2", SchedulerKind::Dynamic, &taus);
+    for i in 0..taus.len() {
+        let fp = b.late_playback[i].1.mean();
+        let fa = b.late_arrival[i].1.mean();
+        if fp > 1e-3 {
+            let ratio = fa / fp;
+            assert!(
+                (0.3..=1.5).contains(&ratio),
+                "τ={}: arrival-order {fa:.2e} vs playback-order {fp:.2e}",
+                taus[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn dmp_beats_static_in_the_simulator_too() {
+    // Fig. 11 is a model result; verify the same ordering end-to-end in the
+    // packet simulator on a congested setting.
+    let taus = [2.0, 4.0, 6.0];
+    let dynamic = batch("2-2", SchedulerKind::Dynamic, &taus);
+    let static_ = batch("2-2", SchedulerKind::Static, &taus);
+    let fd: f64 = dynamic.late_playback.iter().map(|(_, s)| s.mean()).sum();
+    let fs: f64 = static_.late_playback.iter().map(|(_, s)| s.mean()).sum();
+    assert!(
+        fd <= fs * 1.3 + 1e-6,
+        "dynamic (sum f = {fd:.3e}) should not lose clearly to static (sum f = {fs:.3e})"
+    );
+}
+
+#[test]
+fn dynamic_split_follows_capacity_in_heterogeneous_setting() {
+    // Setting 1-3: path 2 uses config 3 (5 Mbps, 19 FTPs) vs config 1
+    // (3.7 Mbps, 9 FTPs). Whatever the exact shares, DMP must keep both
+    // paths in use and deliver the stream.
+    let b = batch("1-3", SchedulerKind::Dynamic, &[6.0]);
+    for k in 0..2 {
+        let share = b.share[k].mean();
+        assert!((0.15..0.85).contains(&share), "share_{k} = {share}");
+    }
+}
