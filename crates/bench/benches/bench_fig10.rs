@@ -6,7 +6,8 @@ use tcp_model::pftk;
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::quick();
-    println!("{}", dmp_bench::hetero::fig10(&scale));
+    let runner = dmp_runner::Runner::new(1, dmp_runner::Cache::disabled()).with_progress(false);
+    println!("{}", dmp_bench::hetero::fig10(&runner, &scale).text);
     c.bench_function("fig10/pftk_loss_inversion", |b| {
         b.iter(|| std::hint::black_box(pftk::loss_for_throughput(30.0, 0.15, 4.0)))
     });

@@ -7,7 +7,8 @@ use tcp_model::static_streaming_late_fraction;
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::quick();
-    println!("{}", dmp_bench::static_cmp::fig11(&scale));
+    let runner = dmp_runner::Runner::new(1, dmp_runner::Cache::disabled()).with_progress(false);
+    println!("{}", dmp_bench::static_cmp::fig11(&runner, &scale).text);
     let paths = vec![PathSpec::from_ms(0.02, 200.0, 4.0); 2];
     c.bench_function("fig11/static_scheme_100k_consumptions", |b| {
         let mut seed = 0u64;

@@ -8,7 +8,8 @@ use dmp_sim::{run, setting, ExperimentSpec};
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::quick();
-    println!("{}", dmp_bench::validation::fig4(&scale));
+    let runner = dmp_runner::Runner::new(1, dmp_runner::Cache::disabled()).with_progress(false);
+    println!("{}", dmp_bench::validation::fig4(&runner, &scale).text);
     // Kernel: computing a lateness report over a real trace.
     let mut spec = ExperimentSpec::new(*setting("2-2").unwrap(), SchedulerKind::Dynamic, 120.0, 7);
     spec.warmup_s = 5.0;

@@ -8,7 +8,8 @@ fn bench(c: &mut Criterion) {
     let mut scale = Scale::quick();
     scale.live_packets = 200; // keep the wall-clock time of the bench log small
     scale.live_experiments = 2;
-    println!("{}", dmp_bench::live_fig::fig7(&scale));
+    let runner = dmp_runner::Runner::new(1, dmp_runner::Cache::disabled()).with_progress(false);
+    println!("{}", dmp_bench::live_fig::fig7(&runner, &scale).text);
     c.bench_function("fig7/frame_encode_decode_1448B", |b| {
         let mut buf = bytes::BytesMut::with_capacity(4096);
         let mut seq = 0u64;

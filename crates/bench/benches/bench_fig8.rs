@@ -7,7 +7,8 @@ use tcp_model::DmpModel;
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::quick();
-    println!("{}", dmp_bench::params::fig8(&scale));
+    let runner = dmp_runner::Runner::new(1, dmp_runner::Cache::disabled()).with_progress(false);
+    println!("{}", dmp_bench::params::fig8(&runner, &scale).text);
     let model = DmpModel::new(vec![PathSpec::from_ms(0.02, 200.0, 4.0); 2], 25.0, 8.0);
     c.bench_function("fig8/ssa_100k_consumptions", |b| {
         let mut seed = 0u64;

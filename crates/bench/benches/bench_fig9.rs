@@ -7,8 +7,9 @@ use tcp_model::{required_startup_delay, DmpModel, SearchOptions};
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::quick();
-    println!("{}", dmp_bench::params::fig9a(&scale));
-    println!("{}", dmp_bench::params::fig9b(&scale));
+    let runner = dmp_runner::Runner::new(1, dmp_runner::Cache::disabled()).with_progress(false);
+    println!("{}", dmp_bench::params::fig9a(&runner, &scale).text);
+    println!("{}", dmp_bench::params::fig9b(&runner, &scale).text);
     let opts = SearchOptions {
         block: 50_000,
         max_consumptions: 100_000,

@@ -1,10 +1,13 @@
 //! Section 7.3 fluid example reproduction + fluid-integrator benchmark.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use dmp_bench::Scale;
 use tcp_model::fluid::section_7_3_comparison;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", dmp_bench::fluid_fig::fig_fluid());
+    let scale = Scale::quick();
+    let runner = dmp_runner::Runner::new(1, dmp_runner::Cache::disabled()).with_progress(false);
+    println!("{}", dmp_bench::fluid_fig::fig_fluid(&runner, &scale).text);
     c.bench_function("fig_fluid/comparison_200_periods", |b| {
         b.iter(|| std::hint::black_box(section_7_3_comparison(50.0, 30.0, 10.0, 3.0, true)))
     });

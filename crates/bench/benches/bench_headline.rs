@@ -9,7 +9,8 @@ use tcp_model::TcpChain;
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::quick();
-    println!("{}", dmp_bench::params::headline(&scale));
+    let runner = dmp_runner::Runner::new(1, dmp_runner::Cache::disabled()).with_progress(false);
+    println!("{}", dmp_bench::params::headline(&runner, &scale).text);
     c.bench_function("headline/chain_10k_rounds", |b| {
         let mut rng = SmallRng::seed_from_u64(5);
         let mut chain = TcpChain::new(PathSpec::from_ms(0.02, 150.0, 4.0), 64);

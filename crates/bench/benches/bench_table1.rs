@@ -1,12 +1,15 @@
 //! Table 1 reproduction + a benchmark of the report renderer.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use dmp_bench::Scale;
 
 fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let runner = dmp_runner::Runner::new(1, dmp_runner::Cache::disabled()).with_progress(false);
     // Print the reproduced table into the bench log.
-    println!("{}", dmp_bench::tables::table1());
+    println!("{}", dmp_bench::tables::table1(&runner, &scale).text);
     c.bench_function("table1/render", |b| {
-        b.iter(|| std::hint::black_box(dmp_bench::tables::table1()))
+        b.iter(|| std::hint::black_box(dmp_bench::tables::table1(&runner, &scale).text))
     });
 }
 

@@ -7,7 +7,8 @@ use dmp_sim::{run, setting, ExperimentSpec};
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::quick();
-    println!("{}", dmp_bench::tables::table2(&scale));
+    let runner = dmp_runner::Runner::new(1, dmp_runner::Cache::disabled()).with_progress(false);
+    println!("{}", dmp_bench::tables::table2(&runner, &scale).text);
     c.bench_function("table2/simulate_60s_setting_2-2", |b| {
         let mut seed = 0u64;
         b.iter(|| {

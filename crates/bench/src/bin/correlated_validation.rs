@@ -1,5 +1,7 @@
 //! Section 5.3's correlated-path validation (figures omitted in the paper).
 fn main() {
-    let scale = dmp_bench::scale_from_env();
-    print!("{}", dmp_bench::validation::correlated_validation(&scale));
+    dmp_bench::target::run_standalone(&[(
+        "correlated_validation",
+        dmp_bench::validation::correlated_validation,
+    )]);
 }

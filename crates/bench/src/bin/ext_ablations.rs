@@ -1,5 +1,4 @@
 //! Ablations: send-buffer size, RED vs drop-tail, Reno vs NewReno, static.
 fn main() {
-    let scale = dmp_bench::scale_from_env();
-    print!("{}", dmp_bench::extensions::ext_ablations(&scale));
+    dmp_bench::target::run_standalone(&[("ext_ablations", dmp_bench::extensions::ext_ablations)]);
 }

@@ -1,5 +1,4 @@
 //! Extension: K > 2 paths (the paper's future work).
 fn main() {
-    let scale = dmp_bench::scale_from_env();
-    print!("{}", dmp_bench::extensions::ext_kpaths(&scale));
+    dmp_bench::target::run_standalone(&[("ext_kpaths", dmp_bench::extensions::ext_kpaths)]);
 }

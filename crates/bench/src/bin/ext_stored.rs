@@ -1,5 +1,4 @@
 //! Extension: stored-video streaming (the paper's future work).
 fn main() {
-    let scale = dmp_bench::scale_from_env();
-    print!("{}", dmp_bench::extensions::ext_stored(&scale));
+    dmp_bench::target::run_standalone(&[("ext_stored", dmp_bench::extensions::ext_stored)]);
 }

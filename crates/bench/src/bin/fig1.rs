@@ -1,55 +1,4 @@
-//! Reproduce Fig. 1: the cumulative generation / arrival / playback curves
-//! of multipath live streaming (illustrative figure, regenerated from a real
-//! simulated trace; arrivals are also split per path as in the paper's
-//! solid/dashed curves).
-
-use dmp_core::spec::SchedulerKind;
-use dmp_sim::{run, setting, ExperimentSpec};
-
+//! Reproduce Fig. 1: the cumulative generation / arrival / playback curves.
 fn main() {
-    let mut spec =
-        ExperimentSpec::new(*setting("2-2").unwrap(), SchedulerKind::Dynamic, 60.0, 2007);
-    spec.warmup_s = 10.0;
-    let out = run(&spec);
-    let records = out.trace.records();
-    let mu = out.trace.video().rate_pps;
-    let tau = 4.0;
-    let t0 = records[0].gen_ns as f64 / 1e9;
-
-    println!("Fig 1: cumulative packet-number curves, Setting 2-2 (tau = {tau} s)");
-    println!(
-        "{:>6}  {:>10}  {:>12}  {:>12}  {:>12}  {:>10}",
-        "t (s)", "generated", "arrived p0", "arrived p1", "arrived all", "playback"
-    );
-    for step in 0..=12 {
-        let t = step as f64 * 5.0;
-        let abs_ns = ((t0 + t) * 1e9) as u64;
-        let generated = records.iter().filter(|r| r.gen_ns <= abs_ns).count();
-        let arr = |path: Option<u8>| {
-            records
-                .iter()
-                .filter(|r| {
-                    r.arrival_ns
-                        .is_some_and(|a| a <= abs_ns && path.is_none_or(|p| r.path == p))
-                })
-                .count()
-        };
-        let playback = if t > tau {
-            ((t - tau) * mu) as usize
-        } else {
-            0
-        };
-        println!(
-            "{t:>6.0}  {generated:>10}  {:>12}  {:>12}  {:>12}  {playback:>10}",
-            arr(Some(0)),
-            arr(Some(1)),
-            arr(None)
-        );
-    }
-    println!(
-        "\nThe arrival curve hugs the generation curve (live constraint: at most\n\
-         mu*tau = {:.0} packets ahead of playback) and stays above the playback\n\
-         line; packets below it would be the paper's shaded 'late packets' region.",
-        mu * tau
-    );
+    dmp_bench::target::run_standalone(&[("fig1", dmp_bench::fig1::fig1)]);
 }

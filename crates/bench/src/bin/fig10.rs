@@ -1,5 +1,4 @@
 //! Reproduce Fig. 10: impact of path heterogeneity.
 fn main() {
-    let scale = dmp_bench::scale_from_env();
-    print!("{}", dmp_bench::hetero::fig10(&scale));
+    dmp_bench::target::run_standalone(&[("fig10", dmp_bench::hetero::fig10)]);
 }

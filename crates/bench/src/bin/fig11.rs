@@ -1,5 +1,4 @@
 //! Reproduce Fig. 11: DMP-streaming vs static-streaming.
 fn main() {
-    let scale = dmp_bench::scale_from_env();
-    print!("{}", dmp_bench::static_cmp::fig11(&scale));
+    dmp_bench::target::run_standalone(&[("fig11", dmp_bench::static_cmp::fig11)]);
 }

@@ -1,5 +1,4 @@
 //! Reproduce Fig. 4: validation on Setting 2-2 (independent homogeneous).
 fn main() {
-    let scale = dmp_bench::scale_from_env();
-    print!("{}", dmp_bench::validation::fig4(&scale));
+    dmp_bench::target::run_standalone(&[("fig4", dmp_bench::validation::fig4)]);
 }

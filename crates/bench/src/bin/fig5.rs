@@ -1,5 +1,4 @@
 //! Reproduce Fig. 5: validation on Setting 1-2 (independent heterogeneous).
 fn main() {
-    let scale = dmp_bench::scale_from_env();
-    print!("{}", dmp_bench::validation::fig5(&scale));
+    dmp_bench::target::run_standalone(&[("fig5", dmp_bench::validation::fig5)]);
 }

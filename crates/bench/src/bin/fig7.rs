@@ -1,5 +1,4 @@
 //! Reproduce Fig. 7: live-socket validation (wall-clock bound!).
 fn main() {
-    let scale = dmp_bench::scale_from_env();
-    print!("{}", dmp_bench::live_fig::fig7(&scale));
+    dmp_bench::target::run_standalone(&[("fig7", dmp_bench::live_fig::fig7)]);
 }

@@ -1,5 +1,4 @@
 //! Reproduce Fig. 8: diminishing gain from increasing σ_a/µ.
 fn main() {
-    let scale = dmp_bench::scale_from_env();
-    print!("{}", dmp_bench::params::fig8(&scale));
+    dmp_bench::target::run_standalone(&[("fig8", dmp_bench::params::fig8)]);
 }

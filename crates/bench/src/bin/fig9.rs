@@ -1,6 +1,7 @@
 //! Reproduce Fig. 9(a,b): required startup delay at σ_a/µ = 1.6.
 fn main() {
-    let scale = dmp_bench::scale_from_env();
-    print!("{}", dmp_bench::params::fig9a(&scale));
-    print!("{}", dmp_bench::params::fig9b(&scale));
+    dmp_bench::target::run_standalone(&[
+        ("fig9a", dmp_bench::params::fig9a),
+        ("fig9b", dmp_bench::params::fig9b),
+    ]);
 }

@@ -1,4 +1,4 @@
 //! Reproduce the Section 7.3 fluid example.
 fn main() {
-    print!("{}", dmp_bench::fluid_fig::fig_fluid());
+    dmp_bench::target::run_standalone(&[("fig_fluid", dmp_bench::fluid_fig::fig_fluid)]);
 }

@@ -1,5 +1,4 @@
 //! Reproduce the headline 1.6× (multipath) vs 2× (single path) comparison.
 fn main() {
-    let scale = dmp_bench::scale_from_env();
-    print!("{}", dmp_bench::params::headline(&scale));
+    dmp_bench::target::run_standalone(&[("headline", dmp_bench::params::headline)]);
 }

@@ -1,19 +1,36 @@
-//! Run every reproduction target in paper order.
+//! Run every reproduction target in paper order on a shared parallel runner,
+//! writing one JSON artifact per target plus a final telemetry summary.
+//!
+//! Flags: `--quick` (reduced scale, seconds per target) / `--full`
+//! (paper-fidelity, the default). A second invocation at the same scale
+//! answers from the content-addressed cache (`target/dmp-cache`); delete the
+//! directory or set `DMP_NO_CACHE=1` to recompute.
+
+use std::time::Instant;
+
+use dmp_runner::{ArtifactWriter, Runner};
+
 fn main() {
     let scale = dmp_bench::scale_from_env();
-    // Fig. 1 is regenerated by its own binary (`fig1`) from a live trace.
-    println!("{}", dmp_bench::tables::table1());
-    println!("{}", dmp_bench::tables::table2(&scale));
-    println!("{}", dmp_bench::tables::table3(&scale));
-    println!("{}", dmp_bench::validation::fig4(&scale));
-    println!("{}", dmp_bench::validation::fig5(&scale));
-    println!("{}", dmp_bench::validation::correlated_validation(&scale));
-    println!("{}", dmp_bench::live_fig::fig7(&scale));
-    println!("{}", dmp_bench::params::fig8(&scale));
-    println!("{}", dmp_bench::params::fig9a(&scale));
-    println!("{}", dmp_bench::params::fig9b(&scale));
-    println!("{}", dmp_bench::hetero::fig10(&scale));
-    println!("{}", dmp_bench::static_cmp::fig11(&scale));
-    println!("{}", dmp_bench::fluid_fig::fig_fluid());
-    println!("{}", dmp_bench::params::headline(&scale));
+    let runner = Runner::from_env();
+    let artifacts = ArtifactWriter::from_env();
+    let t0 = Instant::now();
+    let outcomes: Vec<_> = dmp_bench::target::all_targets()
+        .into_iter()
+        .map(|(name, f)| dmp_bench::target::execute(name, &runner, &artifacts, &scale, f))
+        .collect();
+    let total_wall = t0.elapsed();
+    println!(
+        "{}",
+        dmp_bench::target::summary_table(&outcomes, runner.threads(), total_wall)
+    );
+    println!(
+        "Artifacts: {}   Cache: {}",
+        artifacts.dir().display(),
+        if runner.cache().is_enabled() {
+            runner.cache().dir().display().to_string()
+        } else {
+            "disabled".to_string()
+        }
+    );
 }

@@ -1,4 +1,4 @@
 //! Reproduce Table 1 (bottleneck configurations).
 fn main() {
-    print!("{}", dmp_bench::tables::table1());
+    dmp_bench::target::run_standalone(&[("table1", dmp_bench::tables::table1)]);
 }

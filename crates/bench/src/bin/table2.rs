@@ -1,5 +1,4 @@
 //! Reproduce Table 2: measured p, R, T_O, µ for independent paths.
 fn main() {
-    let scale = dmp_bench::scale_from_env();
-    print!("{}", dmp_bench::tables::table2(&scale));
+    dmp_bench::target::run_standalone(&[("table2", dmp_bench::tables::table2)]);
 }

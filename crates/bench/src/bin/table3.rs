@@ -1,5 +1,4 @@
 //! Reproduce Table 3: measured p, R, T_O, µ for correlated paths.
 fn main() {
-    let scale = dmp_bench::scale_from_env();
-    print!("{}", dmp_bench::tables::table3(&scale));
+    dmp_bench::target::run_standalone(&[("table3", dmp_bench::tables::table3)]);
 }

@@ -4,17 +4,19 @@
 
 use dmp_core::spec::{PathSpec, SchedulerKind};
 use dmp_core::stats::OnlineStats;
-use dmp_sim::{run, setting, ExperimentSpec};
+use dmp_runner::{JobSpec, Json, Runner};
+use dmp_sim::{run_summary, setting, ExperimentSpec, RunSummary};
 use netsim::tcp::TcpFlavor;
-use tcp_model::{calibrate, required_startup_delay, stored_video_late_fraction, DmpModel};
+use tcp_model::{calibrate, stored_video_late_fraction, DmpModel, TauSearchSpec};
 
 use crate::report::{frac, tau, Table};
 use crate::scale::Scale;
+use crate::target::{opt_num, TargetReport};
 
 /// Extension 1 — `K > 2` paths (the paper: "performance study under larger
 /// number of paths is left as future work"): required startup delay at a
 /// fixed aggregate ratio as the same capacity is spread over more paths.
-pub fn ext_kpaths(scale: &Scale) -> String {
+pub fn ext_kpaths(r: &Runner, scale: &Scale) -> TargetReport {
     let (p, to) = (0.02, 4.0);
     let path = PathSpec {
         loss: p,
@@ -22,6 +24,23 @@ pub fn ext_kpaths(scale: &Scale) -> String {
         to_ratio: to,
     };
     let sigma = calibrate::chain_throughput_pps(&path, DmpModel::DEFAULT_WMAX);
+    let ratios = [1.4, 1.6, 1.8];
+    let opts = scale.search_options();
+    let mut jobs = Vec::new();
+    for k in 1..=4usize {
+        for &ratio in &ratios {
+            jobs.push(
+                TauSearchSpec {
+                    paths: vec![path; k],
+                    mu: k as f64 * sigma / ratio,
+                    opts,
+                }
+                .into_job(format!("ext_kpaths:K{k}:ratio{ratio}")),
+            );
+        }
+    }
+    let cells = r.run_all(jobs);
+
     let mut t = Table::new(
         "Extension: K identical paths (p=0.02, R=150ms, TO=4), video scaled to keep \
          sigma_a/mu fixed — the paper's question (ii) generalised",
@@ -33,70 +52,101 @@ pub fn ext_kpaths(scale: &Scale) -> String {
             "ratio 1.8",
         ],
     );
-    let opts = scale.search_options();
+    let mut points = Vec::new();
     for k in 1..=4usize {
         let mut row = vec![k.to_string(), format!("{:.0}", k as f64 * sigma / 1.6)];
-        for &ratio in &[1.4, 1.6, 1.8] {
-            let mu = k as f64 * sigma / ratio;
-            let paths = vec![path; k];
-            let req =
-                required_startup_delay(|tau_s| DmpModel::new(paths.clone(), mu, tau_s), &opts);
+        for (ri, &ratio) in ratios.iter().enumerate() {
+            let req = *cells[(k - 1) * ratios.len() + ri].ok().expect("search job");
             row.push(tau(req));
+            points.push(Json::obj([
+                ("k", Json::Num(k as f64)),
+                ("ratio", Json::Num(ratio)),
+                ("tau_s", opt_num(req)),
+            ]));
         }
         t.row(row);
     }
-    let mut out = t.render();
-    out.push_str(
+    let mut text = t.render();
+    text.push_str(
         "Reading: every added subscription adds its full throughput to the watchable\n\
          bitrate at the same ratio, and the required startup delay shrinks with K:\n\
          with more independent paths, one path's timeout stalls a smaller share of\n\
          the stream while the survivors keep filling the buffer (path diversity).\n",
     );
-    out
+    let data = Json::obj([("points", Json::Arr(points)), ("table", t.to_json())]);
+    TargetReport::new(text, data)
 }
 
 /// Extension 2 — stored-video streaming: live vs stored late fraction at the
 /// same paths, µ and τ (the stored sender may work arbitrarily far ahead).
-pub fn ext_stored(scale: &Scale) -> String {
+pub fn ext_stored(r: &Runner, scale: &Scale) -> TargetReport {
     let (p, to, mu) = (0.02, 4.0, 25.0);
+    let taus = [2.0, 4.0, 8.0, 12.0];
+    let rtt = calibrate::rtt_for_ratio(p, to, DmpModel::DEFAULT_WMAX, 2, mu, 1.3);
+    let paths = vec![
+        PathSpec {
+            loss: p,
+            rtt_s: rtt,
+            to_ratio: to
+        };
+        2
+    ];
+    // One job per τ returning `[f_live, f_stored]`.
+    let consumptions = scale.model_consumptions;
+    let seed = scale.seed;
+    let jobs: Vec<JobSpec<Vec<f64>>> = taus
+        .iter()
+        .map(|&tau_s| {
+            let paths = paths.clone();
+            let config_repr = format!(
+                "ext-stored/v1/paths{paths:?}/mu{mu}/tau{tau_s}/consumptions{consumptions}/seed{seed}"
+            );
+            JobSpec::new(
+                format!("ext_stored:tau{tau_s}"),
+                config_repr,
+                seed,
+                move || {
+                    let model = DmpModel::new(paths.clone(), mu, tau_s);
+                    let live = model.late_fraction(consumptions, seed).f;
+                    let stored = stored_video_late_fraction(
+                        &model,
+                        (consumptions / 20).max(10_000),
+                        10,
+                        seed,
+                    );
+                    vec![live, stored.f]
+                },
+            )
+        })
+        .collect();
+    let cells = r.run_all(jobs);
+
     let mut t = Table::new(
         "Extension: live vs stored video (p=0.02, TO=4, mu=25, sigma_a/mu=1.3)",
         &["tau (s)", "f live", "f stored"],
     );
-    let rtt = calibrate::rtt_for_ratio(p, to, DmpModel::DEFAULT_WMAX, 2, mu, 1.3);
-    for &tau_s in &[2.0, 4.0, 8.0, 12.0] {
-        let model = DmpModel::new(
-            vec![
-                PathSpec {
-                    loss: p,
-                    rtt_s: rtt,
-                    to_ratio: to
-                };
-                2
-            ],
-            mu,
-            tau_s,
-        );
-        let live = model.late_fraction(scale.model_consumptions, scale.seed).f;
-        let stored = stored_video_late_fraction(
-            &model,
-            (scale.model_consumptions / 20).max(10_000),
-            10,
-            scale.seed,
-        );
-        t.row(vec![format!("{tau_s:.0}"), frac(live), frac(stored.f)]);
+    let mut points = Vec::new();
+    for (i, &tau_s) in taus.iter().enumerate() {
+        let fs = cells[i].ok().expect("model job");
+        t.row(vec![format!("{tau_s:.0}"), frac(fs[0]), frac(fs[1])]);
+        points.push(Json::obj([
+            ("tau_s", Json::Num(tau_s)),
+            ("f_live", Json::Num(fs[0])),
+            ("f_stored", Json::Num(fs[1])),
+        ]));
     }
-    let mut out = t.render();
-    out.push_str(
+    let mut text = t.render();
+    text.push_str(
         "Reading: the generation constraint is what makes live streaming hard; a\n\
          stored video with the same startup delay buffers ahead and suffers less.\n",
     );
-    out
+    let data = Json::obj([("points", Json::Arr(points)), ("table", t.to_json())]);
+    TargetReport::new(text, data)
 }
 
 /// Ablations in the packet simulator: send-buffer size, RED vs drop-tail,
 /// Reno vs NewReno for the video flows (Setting 2-2).
-pub fn ext_ablations(scale: &Scale) -> String {
+pub fn ext_ablations(r: &Runner, scale: &Scale) -> TargetReport {
     let taus = [3.0, 6.0, 9.0];
     let base = || {
         let mut s = ExperimentSpec::new(
@@ -110,23 +160,41 @@ pub fn ext_ablations(scale: &Scale) -> String {
     };
     let runs = scale.sim_runs.max(2);
 
-    let evaluate = |spec: &ExperimentSpec| -> (f64, Vec<f64>) {
-        let mut loss = OnlineStats::new();
-        let mut f = vec![OnlineStats::new(); taus.len()];
+    let mut variants: Vec<(String, ExperimentSpec)> = Vec::new();
+    variants.push(("baseline (drop-tail, Reno, buf 32)".into(), base()));
+    for &buf in &[8usize, 128] {
+        let mut s = base();
+        s.send_buf_pkts = buf;
+        variants.push((format!("send buffer {buf} pkts"), s));
+    }
+    let mut s = base();
+    s.red = true;
+    variants.push(("RED bottlenecks".into(), s));
+    let mut s = base();
+    s.video_flavor = TcpFlavor::NewReno;
+    variants.push(("NewReno video flows".into(), s));
+    let mut s = base();
+    s.scheduler = SchedulerKind::Static;
+    variants.push(("static splitting".into(), s));
+
+    // One job per (variant, replication); the ablations keep their original
+    // seed schedule (`seed + 7919·i`).
+    let mut jobs = Vec::with_capacity(variants.len() * runs);
+    for (vi, (_, spec)) in variants.iter().enumerate() {
         for i in 0..runs {
             let mut s = spec.clone();
             s.seed = spec.seed.wrapping_add(7919 * i as u64);
-            let out = run(&s);
-            for p in &out.paths {
-                loss.push(p.loss);
-            }
-            let rep = dmp_core::metrics::LatenessReport::from_trace(&out.trace, &taus);
-            for (slot, lf) in f.iter_mut().zip(&rep.per_tau) {
-                slot.push(lf.playback_order);
-            }
+            let taus = taus.to_vec();
+            let config_repr = format!("{}/taus{:?}", s.config_repr(), taus);
+            jobs.push(JobSpec::new(
+                format!("ablate:v{vi}:run{i}"),
+                config_repr,
+                s.seed,
+                move || run_summary(&s, &taus),
+            ));
         }
-        (loss.mean(), f.iter().map(|s| s.mean()).collect())
-    };
+    }
+    let cells = r.run_all(jobs);
 
     let mut t = Table::new(
         "Ablations on Setting 2-2 (mean over runs)",
@@ -138,35 +206,43 @@ pub fn ext_ablations(scale: &Scale) -> String {
             "f(tau=9)",
         ],
     );
-    let mut add = |name: &str, spec: ExperimentSpec| {
-        let (p, f) = evaluate(&spec);
+    let mut points = Vec::new();
+    for (vi, (name, _)) in variants.iter().enumerate() {
+        let summaries: Vec<&RunSummary> = cells[vi * runs..(vi + 1) * runs]
+            .iter()
+            .map(|c| {
+                c.ok()
+                    .unwrap_or_else(|| panic!("{} failed: {:?}", c.label, c.failure()))
+            })
+            .collect();
+        let mut loss = OnlineStats::new();
+        let mut f = vec![OnlineStats::new(); taus.len()];
+        for summary in &summaries {
+            for p in &summary.paths {
+                loss.push(p.loss);
+            }
+            for (slot, lf) in f.iter_mut().zip(&summary.per_tau) {
+                slot.push(lf.playback_order);
+            }
+        }
+        let f_means: Vec<f64> = f.iter().map(OnlineStats::mean).collect();
         t.row(vec![
-            name.to_string(),
-            format!("{p:.4}"),
-            frac(f[0]),
-            frac(f[1]),
-            frac(f[2]),
+            name.clone(),
+            format!("{:.4}", loss.mean()),
+            frac(f_means[0]),
+            frac(f_means[1]),
+            frac(f_means[2]),
         ]);
-    };
-
-    add("baseline (drop-tail, Reno, buf 32)", base());
-    for &buf in &[8usize, 128] {
-        let mut s = base();
-        s.send_buf_pkts = buf;
-        add(&format!("send buffer {buf} pkts"), s);
+        points.push(Json::obj([
+            ("variant", Json::Str(name.clone())),
+            ("loss_mean", Json::Num(loss.mean())),
+            ("tau_s", Json::nums(taus)),
+            ("f_mean", Json::nums(f_means)),
+        ]));
     }
-    let mut s = base();
-    s.red = true;
-    add("RED bottlenecks", s);
-    let mut s = base();
-    s.video_flavor = TcpFlavor::NewReno;
-    add("NewReno video flows", s);
-    let mut s = base();
-    s.scheduler = SchedulerKind::Static;
-    add("static splitting", s);
 
-    let mut out = t.render();
-    out.push_str(
+    let mut text = t.render();
+    text.push_str(
         "Notes: the send buffer shifts where packets queue (a huge buffer commits\n\
          packets to a path early and behaves more like static splitting). RED\n\
          equalises loss rates across flows — which *hurts* the paced video stream:\n\
@@ -174,5 +250,6 @@ pub fn ext_ablations(scale: &Scale) -> String {
          the fair-share equilibrium, and the video depends on that. NewReno's\n\
          multi-loss recovery shaves the lateness tail.\n",
     );
-    out
+    let data = Json::obj([("variants", Json::Arr(points)), ("table", t.to_json())]);
+    TargetReport::new(text, data)
 }

@@ -12,10 +12,12 @@
 //! mean DMP-streaming is insensitive to heterogeneity.
 
 use dmp_core::spec::PathSpec;
-use tcp_model::{pftk, required_startup_delay, DmpModel};
+use dmp_runner::{Json, Runner};
+use tcp_model::{pftk, DmpModel, TauSearchSpec};
 
 use crate::report::{tau, Table};
 use crate::scale::Scale;
+use crate::target::{opt_num, TargetReport};
 
 /// One heterogeneity comparison setting.
 #[derive(Debug, Clone, Copy)]
@@ -119,7 +121,41 @@ pub fn mu_for(s: &HeteroSetting) -> f64 {
 }
 
 /// Fig. 10: required startup delay under homogeneous vs heterogeneous paths.
-pub fn fig10(scale: &Scale) -> String {
+pub fn fig10(r: &Runner, scale: &Scale) -> TargetReport {
+    let settings = paper_settings();
+    let opts = scale.search_options();
+    // Two τ-searches per setting: the homogeneous baseline and the
+    // heterogeneous scenario with the same aggregate throughput.
+    let mut jobs = Vec::with_capacity(2 * settings.len());
+    for (i, s) in settings.iter().enumerate() {
+        let mu = mu_for(s);
+        let homo = vec![
+            PathSpec {
+                loss: s.p_o,
+                rtt_s: s.r_o,
+                to_ratio: 4.0
+            };
+            2
+        ];
+        jobs.push(
+            TauSearchSpec {
+                paths: homo,
+                mu,
+                opts,
+            }
+            .into_job(format!("fig10:{i}:{}:g{}:homo", s.case, s.gamma)),
+        );
+        jobs.push(
+            TauSearchSpec {
+                paths: hetero_paths(s),
+                mu,
+                opts,
+            }
+            .into_job(format!("fig10:{i}:{}:g{}:hetero", s.case, s.gamma)),
+        );
+    }
+    let cells = r.run_all(jobs);
+
     let mut t = Table::new(
         "Fig 10: required startup delay (s), homogeneous vs heterogeneous paths (TO=4)",
         &[
@@ -132,20 +168,10 @@ pub fn fig10(scale: &Scale) -> String {
             "tau hetero",
         ],
     );
-    let opts = scale.search_options();
-    for s in paper_settings() {
-        let mu = mu_for(&s);
-        let homo = vec![
-            PathSpec {
-                loss: s.p_o,
-                rtt_s: s.r_o,
-                to_ratio: 4.0
-            };
-            2
-        ];
-        let het = hetero_paths(&s);
-        let tau_homo = required_startup_delay(|x| DmpModel::new(homo.clone(), mu, x), &opts);
-        let tau_het = required_startup_delay(|x| DmpModel::new(het.clone(), mu, x), &opts);
+    let mut points = Vec::new();
+    for (i, s) in settings.iter().enumerate() {
+        let tau_homo = *cells[2 * i].ok().expect("search job");
+        let tau_het = *cells[2 * i + 1].ok().expect("search job");
         t.row(vec![
             s.case.to_string(),
             format!("{:.1}", s.gamma),
@@ -155,8 +181,18 @@ pub fn fig10(scale: &Scale) -> String {
             tau(tau_homo),
             tau(tau_het),
         ]);
+        points.push(Json::obj([
+            ("case", Json::Str(s.case.to_string())),
+            ("gamma", Json::Num(s.gamma)),
+            ("p_o", Json::Num(s.p_o)),
+            ("r_o_s", Json::Num(s.r_o)),
+            ("ratio", Json::Num(s.ratio)),
+            ("tau_homo_s", opt_num(tau_homo)),
+            ("tau_hetero_s", opt_num(tau_het)),
+        ]));
     }
-    t.render()
+    let data = Json::obj([("points", Json::Arr(points)), ("table", t.to_json())]);
+    TargetReport::new(t.render(), data)
 }
 
 #[cfg(test)]

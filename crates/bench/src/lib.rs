@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod extensions;
+pub mod fig1;
 pub mod fluid_fig;
 pub mod hetero;
 pub mod live_fig;
@@ -38,12 +39,18 @@ pub mod report;
 pub mod scale;
 pub mod static_cmp;
 pub mod tables;
+pub mod target;
 pub mod validation;
 
 pub use scale::Scale;
+pub use target::{TargetFn, TargetReport};
 
-/// Parse a `--quick` flag / `DMP_QUICK=1` env var for the binaries.
+/// Parse the `--quick` / `--full` flags (or `DMP_QUICK=1`) for the binaries.
+/// An explicit `--full` wins over the environment; default is full scale.
 pub fn scale_from_env() -> Scale {
+    if std::env::args().any(|a| a == "--full") {
+        return Scale::full();
+    }
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("DMP_QUICK")
             .map(|v| v == "1")

@@ -12,9 +12,12 @@ use std::time::Duration;
 
 use dmp_core::spec::VideoSpec;
 use dmp_live::{model_prediction, run_experiment, LiveExperiment, PathProfile};
+use dmp_runner::{JobSpec, Json, Runner};
+use dmp_sim::RunSummary;
 
 use crate::report::{frac, Table};
 use crate::scale::Scale;
+use crate::target::TargetReport;
 
 /// The experiment mix, mirroring the paper: homogeneous "ADSL" pairs at
 /// µ ∈ {25, 50} and heterogeneous (one coast-to-coast path) at µ = 100,
@@ -60,11 +63,61 @@ pub fn experiment_set(scale: &Scale) -> Vec<LiveExperiment> {
     v
 }
 
+/// One live-run job: stream the experiment on its own (thread-per-task)
+/// tokio runtime and summarise the lateness report. The measurement is
+/// wall-clock real — caching it means a re-run of `fig7` re-renders the
+/// *recorded* measurement for that configuration and seed instead of
+/// re-streaming for `packets/µ` seconds. Delete `target/dmp-cache` or set
+/// `DMP_NO_CACHE=1` to re-measure.
+fn live_job(i: usize, exp: LiveExperiment, taus: Vec<f64>) -> JobSpec<RunSummary> {
+    let config_repr = format!("live-fig7/v1/{exp:?}/taus{taus:?}");
+    let seed = exp.seed;
+    JobSpec::new(format!("fig7:live:exp{i}"), config_repr, seed, move || {
+        let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
+        let run = rt.block_on(run_experiment(&exp, &taus)).expect("live run");
+        RunSummary {
+            paths: Vec::new(),
+            per_tau: run.report.per_tau,
+        }
+    })
+}
+
 /// Run the Fig. 7 experiment set (wall-clock bound: `packets/µ` seconds per
-/// experiment) and print both panels.
-pub fn fig7(scale: &Scale) -> String {
+/// experiment, parallelised across runner threads) and print both panels.
+pub fn fig7(r: &Runner, scale: &Scale) -> TargetReport {
     let taus = [4.0, 6.0, 8.0, 10.0];
-    let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
+    let experiments = experiment_set(scale);
+
+    // Stage 1: the live streaming runs.
+    let live_cells = r.run_all(
+        experiments
+            .iter()
+            .enumerate()
+            .map(|(i, exp)| live_job(i, exp.clone(), taus.to_vec()))
+            .collect(),
+    );
+    // Stage 2: one cacheable model prediction per (experiment, τ).
+    let consumptions = scale.model_consumptions.min(500_000);
+    let model_cells = r.run_all(
+        experiments
+            .iter()
+            .enumerate()
+            .flat_map(|(i, exp)| {
+                taus.iter().map(move |&tau_s| {
+                    let exp = exp.clone();
+                    let config_repr =
+                        format!("live-fig7-model/v1/{exp:?}/tau{tau_s}/consumptions{consumptions}");
+                    JobSpec::new(
+                        format!("fig7:model:exp{i}:tau{tau_s}"),
+                        config_repr,
+                        exp.seed,
+                        move || model_prediction(&exp, tau_s, consumptions),
+                    )
+                })
+            })
+            .collect(),
+    );
+
     let mut a = Table::new(
         "Fig 7(a): out-of-order effect in live runs",
         &["exp", "tau (s)", "f (playback order)", "f (arrival order)"],
@@ -76,16 +129,19 @@ pub fn fig7(scale: &Scale) -> String {
     );
     let mut plotted = 0u32;
     let mut in_band_count = 0u32;
-    for (i, exp) in experiment_set(scale).iter().enumerate() {
-        let run = rt.block_on(run_experiment(exp, &taus)).expect("live run");
-        for lf in &run.report.per_tau {
+    let mut points = Vec::new();
+    for (i, cell) in live_cells.iter().enumerate() {
+        let summary = cell
+            .ok()
+            .unwrap_or_else(|| panic!("{} failed: {:?}", cell.label, cell.failure()));
+        for (ti, lf) in summary.per_tau.iter().enumerate() {
             a.row(vec![
                 i.to_string(),
                 format!("{:.0}", lf.tau_s),
                 frac(lf.playback_order),
                 frac(lf.arrival_order),
             ]);
-            let fm = model_prediction(exp, lf.tau_s, scale.model_consumptions.min(500_000));
+            let fm = *model_cells[i * taus.len() + ti].ok().expect("model job");
             let verdict = if lf.playback_order == 0.0 {
                 // The paper: zero-f experiments "are not shown in the plot".
                 "(0; not plotted)".to_string()
@@ -110,14 +166,32 @@ pub fn fig7(scale: &Scale) -> String {
                 frac(fm),
                 verdict,
             ]);
+            points.push(Json::obj([
+                ("exp", Json::Num(i as f64)),
+                ("tau_s", Json::Num(lf.tau_s)),
+                ("f_playback", Json::Num(lf.playback_order)),
+                ("f_arrival", Json::Num(lf.arrival_order)),
+                ("f_model", Json::Num(fm)),
+            ]));
         }
     }
-    let mut out = a.render();
-    out.push('\n');
-    out.push_str(&b.render());
-    out.push_str(&format!(
+    let mut text = a.render();
+    text.push('\n');
+    text.push_str(&b.render());
+    text.push_str(&format!(
         "\nScatter summary: {in_band_count}/{plotted} plotted points inside the x10 band \
          (paper: all but one point).\n"
     ));
-    out
+    let data = Json::obj([
+        ("points", Json::Arr(points)),
+        (
+            "in_band",
+            Json::obj([
+                ("count", Json::Num(f64::from(in_band_count))),
+                ("plotted", Json::Num(f64::from(plotted))),
+            ]),
+        ),
+        ("tables", Json::arr([a.to_json(), b.to_json()])),
+    ]);
+    TargetReport::new(text, data)
 }

@@ -28,6 +28,27 @@ impl Table {
         self
     }
 
+    /// Structured form for JSON artifacts: title, header, and rows exactly
+    /// as rendered (deterministic — no floats re-parsed, no locale).
+    pub fn to_json(&self) -> dmp_runner::Json {
+        use dmp_runner::Json;
+        Json::obj([
+            ("title", Json::Str(self.title.clone())),
+            (
+                "header",
+                Json::arr(self.header.iter().map(|h| Json::Str(h.clone()))),
+            ),
+            (
+                "rows",
+                Json::arr(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::arr(r.iter().map(|c| Json::Str(c.clone())))),
+                ),
+            ),
+        ])
+    }
+
     /// Render as aligned text.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();

@@ -6,10 +6,12 @@
 //! with the single-path (K = 1, µ/2) model and compared against DMP's.
 
 use dmp_core::spec::PathSpec;
-use tcp_model::{calibrate, required_startup_delay, DmpModel};
+use dmp_runner::{Json, Runner};
+use tcp_model::{calibrate, required_startup_delay, DmpModel, TauSearchSpec};
 
 use crate::report::{tau, Table};
 use crate::scale::Scale;
+use crate::target::{opt_num, TargetReport};
 
 /// One comparison column of Fig. 11.
 #[derive(Debug, Clone, Copy)]
@@ -65,32 +67,68 @@ pub fn dmp_required_tau(path: PathSpec, mu: f64, opts: &tcp_model::SearchOptions
 
 /// Fig. 11: required startup delay, static vs DMP, across the paper's
 /// representative settings.
-pub fn fig11(scale: &Scale) -> String {
-    let mut t = Table::new(
-        "Fig 11: required startup delay (s), static-streaming vs DMP-streaming (TO=4)",
-        &["R (ms)", "sigma_a/mu", "p", "static", "DMP"],
-    );
+pub fn fig11(r: &Runner, scale: &Scale) -> TargetReport {
     let opts = scale.search_options();
+    let losses = [0.004, 0.02, 0.04];
+    // Per (setting, p): a static search (K=1 at µ/2) and a DMP search
+    // (K=2 at µ). Static streaming over two identical paths is two
+    // independent single-path streams, so one K=1 search covers it.
+    let mut grid = Vec::new();
+    let mut jobs = Vec::new();
     for s in paper_settings() {
-        for &p in &[0.004, 0.02, 0.04] {
+        for &p in &losses {
             let mu = calibrate::mu_for_ratio(p, s.rtt_s, 4.0, DmpModel::DEFAULT_WMAX, 2, s.ratio);
             let path = PathSpec {
                 loss: p,
                 rtt_s: s.rtt_s,
                 to_ratio: 4.0,
             };
-            let t_static = static_required_tau(path, mu, &opts);
-            let t_dmp = dmp_required_tau(path, mu, &opts);
-            t.row(vec![
-                format!("{:.0}", s.rtt_s * 1e3),
-                format!("{:.1}", s.ratio),
-                format!("{p:.3}"),
-                tau(t_static),
-                tau(t_dmp),
-            ]);
+            jobs.push(
+                TauSearchSpec {
+                    paths: vec![path],
+                    mu: mu / 2.0,
+                    opts,
+                }
+                .into_job(format!("fig11:R{}:r{}:p{p}:static", s.rtt_s, s.ratio)),
+            );
+            jobs.push(
+                TauSearchSpec {
+                    paths: vec![path; 2],
+                    mu,
+                    opts,
+                }
+                .into_job(format!("fig11:R{}:r{}:p{p}:dmp", s.rtt_s, s.ratio)),
+            );
+            grid.push((s, p));
         }
     }
-    t.render()
+    let cells = r.run_all(jobs);
+
+    let mut t = Table::new(
+        "Fig 11: required startup delay (s), static-streaming vs DMP-streaming (TO=4)",
+        &["R (ms)", "sigma_a/mu", "p", "static", "DMP"],
+    );
+    let mut points = Vec::new();
+    for (i, (s, p)) in grid.iter().enumerate() {
+        let t_static = *cells[2 * i].ok().expect("search job");
+        let t_dmp = *cells[2 * i + 1].ok().expect("search job");
+        t.row(vec![
+            format!("{:.0}", s.rtt_s * 1e3),
+            format!("{:.1}", s.ratio),
+            format!("{p:.3}"),
+            tau(t_static),
+            tau(t_dmp),
+        ]);
+        points.push(Json::obj([
+            ("rtt_s", Json::Num(s.rtt_s)),
+            ("ratio", Json::Num(s.ratio)),
+            ("p", Json::Num(*p)),
+            ("tau_static_s", opt_num(t_static)),
+            ("tau_dmp_s", opt_num(t_dmp)),
+        ]));
+    }
+    let data = Json::obj([("points", Json::Arr(points)), ("table", t.to_json())]);
+    TargetReport::new(t.render(), data)
 }
 
 #[cfg(test)]

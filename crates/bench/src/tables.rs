@@ -2,14 +2,19 @@
 //! parameters of the validation settings.
 
 use dmp_core::spec::SchedulerKind;
-use dmp_sim::{run_batch, ExperimentSpec, Setting, CORRELATED, HETEROGENEOUS, HOMOGENEOUS, TABLE1};
+use dmp_runner::{Json, Runner};
+use dmp_sim::{
+    batch_jobs, BatchOutput, ExperimentSpec, RunSummary, Setting, CORRELATED, HETEROGENEOUS,
+    HOMOGENEOUS, TABLE1,
+};
 
 use crate::report::{ci, Table};
 use crate::scale::Scale;
+use crate::target::TargetReport;
 
 /// Table 1: the four bottleneck-link configurations (static input — printed
 /// so the reproduction is self-describing).
-pub fn table1() -> String {
+pub fn table1(_r: &Runner, _scale: &Scale) -> TargetReport {
     let mut t = Table::new(
         "Table 1: bottleneck-link configurations",
         &[
@@ -31,10 +36,42 @@ pub fn table1() -> String {
             c.buffer_pkts.to_string(),
         ]);
     }
-    t.render()
+    let data = Json::obj([("table", t.to_json())]);
+    TargetReport::new(t.render(), data)
 }
 
-fn measure_settings(title: &str, settings: &[Setting], scale: &Scale) -> String {
+/// Run the per-setting batches on the runner (one job per replication,
+/// settings × runs submitted as a single flat batch) and reduce each
+/// setting's chunk back into a [`BatchOutput`].
+fn measure_batches(r: &Runner, settings: &[Setting], scale: &Scale) -> Vec<BatchOutput> {
+    let mut jobs = Vec::with_capacity(settings.len() * scale.sim_runs);
+    for (i, s) in settings.iter().enumerate() {
+        let spec = ExperimentSpec::new(
+            *s,
+            SchedulerKind::Dynamic,
+            scale.sim_duration_s,
+            scale.seed.wrapping_add(1000 * i as u64),
+        );
+        jobs.extend(batch_jobs(&spec, scale.sim_runs, &[]));
+    }
+    let cells = r.run_all(jobs);
+    cells
+        .chunks(scale.sim_runs)
+        .map(|chunk| {
+            let summaries: Vec<RunSummary> = chunk
+                .iter()
+                .map(|c| {
+                    c.ok()
+                        .unwrap_or_else(|| panic!("{} failed: {:?}", c.label, c.failure()))
+                        .clone()
+                })
+                .collect();
+            BatchOutput::from_summaries(&[], &summaries)
+        })
+        .collect()
+}
+
+fn measure_settings(title: &str, settings: &[Setting], batches: &[BatchOutput]) -> (Table, Json) {
     let mut t = Table::new(
         title,
         &[
@@ -48,14 +85,8 @@ fn measure_settings(title: &str, settings: &[Setting], scale: &Scale) -> String 
             "mu (pkts ps)",
         ],
     );
-    for (i, s) in settings.iter().enumerate() {
-        let spec = ExperimentSpec::new(
-            *s,
-            SchedulerKind::Dynamic,
-            scale.sim_duration_s,
-            scale.seed.wrapping_add(1000 * i as u64),
-        );
-        let batch = run_batch(&spec, scale.sim_runs, &[]);
+    let mut series = Vec::new();
+    for (s, batch) in settings.iter().zip(batches) {
         t.row(vec![
             s.name.to_string(),
             ci(batch.loss[0].mean(), batch.loss[0].ci95_half_width(), 3),
@@ -82,33 +113,64 @@ fn measure_settings(title: &str, settings: &[Setting], scale: &Scale) -> String 
             ),
             format!("{:.0}", s.video.rate_pps),
         ]);
+        let stat = |name: &'static str, st: &dmp_core::stats::OnlineStats| {
+            (
+                name,
+                Json::obj([
+                    ("mean", Json::Num(st.mean())),
+                    ("ci95", Json::Num(st.ci95_half_width())),
+                ]),
+            )
+        };
+        series.push(Json::obj([
+            ("setting", Json::Str(s.name.to_string())),
+            ("mu_pps", Json::Num(s.video.rate_pps)),
+            stat("p1", &batch.loss[0]),
+            stat("p2", &batch.loss[1]),
+            stat("rtt1_s", &batch.rtt[0]),
+            stat("rtt2_s", &batch.rtt[1]),
+            stat("to1", &batch.to_ratio[0]),
+            stat("to2", &batch.to_ratio[1]),
+        ]));
     }
-    t.render()
+    (t, Json::Arr(series))
 }
 
 /// Table 2 analog: measured `p`, `R`, `T_O`, µ for the independent-path
 /// settings (homogeneous then heterogeneous).
-pub fn table2(scale: &Scale) -> String {
-    let mut out = measure_settings(
+pub fn table2(r: &Runner, scale: &Scale) -> TargetReport {
+    let all: Vec<Setting> = HOMOGENEOUS.iter().chain(&HETEROGENEOUS).copied().collect();
+    let batches = measure_batches(r, &all, scale);
+    let (t_homo, s_homo) = measure_settings(
         "Table 2: measured video-stream parameters, independent paths (homogeneous)",
         &HOMOGENEOUS,
-        scale,
+        &batches[..HOMOGENEOUS.len()],
     );
-    out.push('\n');
-    out.push_str(&measure_settings(
+    let (t_het, s_het) = measure_settings(
         "Table 2 (cont.): independent heterogeneous paths",
         &HETEROGENEOUS,
-        scale,
-    ));
-    out
+        &batches[HOMOGENEOUS.len()..],
+    );
+    let mut text = t_homo.render();
+    text.push('\n');
+    text.push_str(&t_het.render());
+    let data = Json::obj([
+        ("tables", Json::arr([t_homo.to_json(), t_het.to_json()])),
+        ("homogeneous", s_homo),
+        ("heterogeneous", s_het),
+    ]);
+    TargetReport::new(text, data)
 }
 
 /// Table 3 analog: the same measurements when both TCP flows share one
 /// bottleneck (correlated paths, Fig. 6 topology).
-pub fn table3(scale: &Scale) -> String {
-    measure_settings(
+pub fn table3(r: &Runner, scale: &Scale) -> TargetReport {
+    let batches = measure_batches(r, &CORRELATED, scale);
+    let (t, series) = measure_settings(
         "Table 3: measured video-stream parameters, correlated paths",
         &CORRELATED,
-        scale,
-    )
+        &batches,
+    );
+    let data = Json::obj([("table", t.to_json()), ("settings", series)]);
+    TargetReport::new(t.render(), data)
 }

@@ -1,0 +1,189 @@
+//! Target orchestration: every table/figure of the reproduction is a
+//! function `(&Runner, &Scale) -> TargetReport`. [`execute`] runs one target
+//! on a shared [`Runner`], writes its structured JSON artifact (plus a
+//! volatile `.meta.json` telemetry sidecar) under `target/artifacts/`,
+//! prints the paper-shaped text, and returns the telemetry row that
+//! `repro_all` folds into its final summary table.
+
+use std::time::{Duration, Instant};
+
+use dmp_runner::{ArtifactWriter, Json, Runner, RunnerStats};
+
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// A target's rendered output.
+#[derive(Debug)]
+pub struct TargetReport {
+    /// Paper-shaped text (tables, prose) printed to stdout.
+    pub text: String,
+    /// Structured artifact payload. Deterministic: byte-identical across
+    /// thread counts and cache states for the same scale and seed.
+    pub data: Json,
+}
+
+impl TargetReport {
+    /// Build a report.
+    pub fn new(text: impl Into<String>, data: Json) -> Self {
+        Self {
+            text: text.into(),
+            data,
+        }
+    }
+}
+
+/// Signature shared by every reproduction target.
+pub type TargetFn = fn(&Runner, &Scale) -> TargetReport;
+
+/// All reproduction targets in paper order — the `repro_all` schedule.
+pub fn all_targets() -> Vec<(&'static str, TargetFn)> {
+    vec![
+        ("fig1", crate::fig1::fig1 as TargetFn),
+        ("table1", crate::tables::table1),
+        ("table2", crate::tables::table2),
+        ("table3", crate::tables::table3),
+        ("fig4", crate::validation::fig4),
+        ("fig5", crate::validation::fig5),
+        (
+            "correlated_validation",
+            crate::validation::correlated_validation,
+        ),
+        ("fig7", crate::live_fig::fig7),
+        ("fig8", crate::params::fig8),
+        ("fig9a", crate::params::fig9a),
+        ("fig9b", crate::params::fig9b),
+        ("fig10", crate::hetero::fig10),
+        ("fig11", crate::static_cmp::fig11),
+        ("fig_fluid", crate::fluid_fig::fig_fluid),
+        ("headline", crate::params::headline),
+    ]
+}
+
+/// Extension targets (beyond the paper); run by their own binaries only.
+pub fn extension_targets() -> Vec<(&'static str, TargetFn)> {
+    vec![
+        ("ext_kpaths", crate::extensions::ext_kpaths as TargetFn),
+        ("ext_stored", crate::extensions::ext_stored),
+        ("ext_ablations", crate::extensions::ext_ablations),
+    ]
+}
+
+/// Telemetry from executing one target: wall-clock plus the per-target delta
+/// of the shared runner's cumulative counters.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetOutcome {
+    /// Target name (artifact file stem).
+    pub name: &'static str,
+    /// Wall-clock time of the target, including reduction and rendering.
+    pub wall: Duration,
+    /// Runner counters attributable to this target.
+    pub stats: RunnerStats,
+}
+
+fn stats_delta(before: RunnerStats, after: RunnerStats) -> RunnerStats {
+    RunnerStats {
+        jobs: after.jobs - before.jobs,
+        cache_hits: after.cache_hits - before.cache_hits,
+        cache_misses: after.cache_misses - before.cache_misses,
+        failed: after.failed - before.failed,
+        serial_equiv: after.serial_equiv.saturating_sub(before.serial_equiv),
+    }
+}
+
+/// Run one target, write `<name>.json` + `<name>.meta.json`, print its text.
+pub fn execute(
+    name: &'static str,
+    runner: &Runner,
+    artifacts: &ArtifactWriter,
+    scale: &Scale,
+    target: TargetFn,
+) -> TargetOutcome {
+    let before = runner.stats();
+    let t0 = Instant::now();
+    let report = target(runner, scale);
+    let wall = t0.elapsed();
+    let stats = stats_delta(before, runner.stats());
+    if let Err(e) = artifacts.write(name, &report.data) {
+        eprintln!("warning: could not write artifact {name}.json: {e}");
+    }
+    if let Err(e) = artifacts.write_meta(name, &stats, runner.threads(), wall) {
+        eprintln!("warning: could not write artifact {name}.meta.json: {e}");
+    }
+    println!("{}", report.text);
+    TargetOutcome { name, wall, stats }
+}
+
+/// Entry point shared by the standalone binaries: run the named targets at
+/// the environment-selected scale with an environment-configured runner and
+/// artifact directory, and print a one-line telemetry footer per target.
+pub fn run_standalone(targets: &[(&'static str, TargetFn)]) {
+    let scale = crate::scale_from_env();
+    let runner = Runner::from_env();
+    let artifacts = ArtifactWriter::from_env();
+    for &(name, f) in targets {
+        let out = execute(name, &runner, &artifacts, &scale, f);
+        eprintln!(
+            "[{name}] wall {:.1}s  serial-equiv {:.1}s  jobs {}  cache {}/{}  failed {}  \
+             (artifacts: {})",
+            out.wall.as_secs_f64(),
+            out.stats.serial_equiv.as_secs_f64(),
+            out.stats.jobs,
+            out.stats.cache_hits,
+            out.stats.cache_hits + out.stats.cache_misses,
+            out.stats.failed,
+            artifacts.dir().display(),
+        );
+    }
+}
+
+/// Render the `repro_all` summary table from per-target outcomes.
+pub fn summary_table(outcomes: &[TargetOutcome], threads: usize, total_wall: Duration) -> String {
+    let mut t = Table::new(
+        format!("repro_all summary ({threads} thread(s))"),
+        &[
+            "target",
+            "wall (s)",
+            "serial-equiv (s)",
+            "jobs",
+            "cache hits",
+            "cache misses",
+            "failed",
+        ],
+    );
+    let mut serial_equiv = Duration::ZERO;
+    let (mut jobs, mut hits, mut misses, mut failed) = (0u64, 0u64, 0u64, 0u64);
+    for o in outcomes {
+        t.row(vec![
+            o.name.to_string(),
+            format!("{:.1}", o.wall.as_secs_f64()),
+            format!("{:.1}", o.stats.serial_equiv.as_secs_f64()),
+            o.stats.jobs.to_string(),
+            o.stats.cache_hits.to_string(),
+            o.stats.cache_misses.to_string(),
+            o.stats.failed.to_string(),
+        ]);
+        serial_equiv += o.stats.serial_equiv;
+        jobs += o.stats.jobs;
+        hits += o.stats.cache_hits;
+        misses += o.stats.cache_misses;
+        failed += o.stats.failed;
+    }
+    let mut out = t.render();
+    let total = total_wall.as_secs_f64();
+    let serial = serial_equiv.as_secs_f64();
+    out.push_str(&format!(
+        "\nTotals: {jobs} jobs, {hits} cache hits / {misses} misses, {failed} failed.\n\
+         Wall-clock {total:.1} s vs serial-equivalent {serial:.1} s \
+         (speedup {:.2}x on {threads} thread(s)).\n",
+        if total > 0.0 { serial / total } else { 1.0 },
+    ));
+    out
+}
+
+/// `None` → JSON `null`, `Some(x)` → number (for unreachable-τ cells).
+pub fn opt_num(v: Option<f64>) -> Json {
+    match v {
+        Some(x) => Json::Num(x),
+        None => Json::Null,
+    }
+}

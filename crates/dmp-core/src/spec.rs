@@ -1,14 +1,12 @@
 //! Parameter types shared by the simulator, the live implementation, and the
 //! analytical model.
 
-use serde::{Deserialize, Serialize};
-
 /// A constant-bit-rate video, described the way the paper does: a playback
 /// rate `µ` in packets per second and a fixed packet size.
 ///
 /// The paper uses 1500-byte packets in simulation and 1448-byte packets on
 /// the Internet (a full Ethernet segment minus TCP/IP headers).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VideoSpec {
     /// Playback (= generation) rate µ, in packets per second.
     pub rate_pps: f64,
@@ -39,7 +37,7 @@ impl VideoSpec {
 /// Steady-state TCP parameters of one network path, as the analytical model
 /// sees it. These are the quantities reported in Tables 2 and 3 of the paper
 /// and the knobs varied in Section 7.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PathSpec {
     /// Packet loss probability `p` experienced by the TCP flow.
     pub loss: f64,
@@ -68,7 +66,7 @@ impl PathSpec {
 }
 
 /// Which server-side packet-allocation scheme to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerKind {
     /// DMP-streaming: one shared queue, senders pull when their send buffer
     /// has room (dynamic, backpressure-driven allocation).

@@ -68,102 +68,103 @@ fn parse_args() -> Result<Args, String> {
 /// (seq, server gen_ns, client arrival_ns, path)
 type Record = (u64, u64, u64, usize);
 
-#[tokio::main]
-async fn main() -> std::io::Result<()> {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    };
-    println!(
-        "listening on ports {:?} (µ = {} pkt/s)…",
-        args.ports, args.mu
-    );
+fn main() -> std::io::Result<()> {
+    tokio::runtime::Runtime::new().unwrap().block_on(async {
+        let args = match parse_args() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!(
+            "listening on ports {:?} (µ = {} pkt/s)…",
+            args.ports, args.mu
+        );
 
-    let records: Arc<Mutex<Vec<Record>>> = Arc::new(Mutex::new(Vec::new()));
-    let epoch = Instant::now();
-    let mut readers = Vec::new();
-    for (path, &port) in args.ports.iter().enumerate() {
-        let listener = TcpListener::bind(("0.0.0.0", port)).await?;
-        let records = Arc::clone(&records);
-        readers.push(tokio::spawn(async move {
-            let (mut sock, peer) = listener.accept().await?;
-            println!("path {path}: accepted {peer}");
-            sock.set_nodelay(true)?;
-            let mut buf = BytesMut::with_capacity(64 * 1024);
-            let mut tmp = vec![0u8; 16 * 1024];
-            let mut count = 0u64;
-            loop {
-                match sock.read(&mut tmp).await {
-                    Ok(0) | Err(_) => break,
-                    Ok(n) => {
-                        buf.extend_from_slice(&tmp[..n]);
-                        loop {
-                            match decode(&mut buf) {
-                                Ok(frame) => {
-                                    let now = epoch.elapsed().as_nanos() as u64;
-                                    records.lock().push((frame.seq, frame.gen_ns, now, path));
-                                    count += 1;
-                                }
-                                Err(DecodeError::Incomplete) => break,
-                                Err(DecodeError::Corrupt) => {
-                                    eprintln!("path {path}: corrupt stream");
-                                    return Ok::<u64, std::io::Error>(count);
+        let records: Arc<Mutex<Vec<Record>>> = Arc::new(Mutex::new(Vec::new()));
+        let epoch = Instant::now();
+        let mut readers = Vec::new();
+        for (path, &port) in args.ports.iter().enumerate() {
+            let listener = TcpListener::bind(("0.0.0.0", port)).await?;
+            let records = Arc::clone(&records);
+            readers.push(tokio::spawn(async move {
+                let (mut sock, peer) = listener.accept().await?;
+                println!("path {path}: accepted {peer}");
+                sock.set_nodelay(true)?;
+                let mut buf = BytesMut::with_capacity(64 * 1024);
+                let mut tmp = vec![0u8; 16 * 1024];
+                let mut count = 0u64;
+                loop {
+                    match sock.read(&mut tmp).await {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            buf.extend_from_slice(&tmp[..n]);
+                            loop {
+                                match decode(&mut buf) {
+                                    Ok(frame) => {
+                                        let now = epoch.elapsed().as_nanos() as u64;
+                                        records.lock().push((frame.seq, frame.gen_ns, now, path));
+                                        count += 1;
+                                    }
+                                    Err(DecodeError::Incomplete) => break,
+                                    Err(DecodeError::Corrupt) => {
+                                        eprintln!("path {path}: corrupt stream");
+                                        return Ok::<u64, std::io::Error>(count);
+                                    }
                                 }
                             }
                         }
                     }
                 }
-            }
-            Ok(count)
-        }));
-    }
-    for (path, r) in readers.into_iter().enumerate() {
-        match r.await {
-            Ok(Ok(n)) => println!("path {path}: received {n} packets"),
-            other => eprintln!("path {path}: reader error: {other:?}"),
+                Ok(count)
+            }));
         }
-    }
+        for (path, r) in readers.into_iter().enumerate() {
+            match r.await {
+                Ok(Ok(n)) => println!("path {path}: received {n} packets"),
+                other => eprintln!("path {path}: reader error: {other:?}"),
+            }
+        }
 
-    // Post-process: anchor the schedule at the minimum one-way latency.
-    let records = records.lock();
-    if records.is_empty() {
-        println!("no packets received");
-        return Ok(());
-    }
-    let offset = records
-        .iter()
-        .map(|&(_, gen, arr, _)| arr as i128 - gen as i128)
-        .min()
-        .expect("non-empty");
-    let total = records.len() as f64;
-    let max_seq = records.iter().map(|r| r.0).max().expect("non-empty");
-    println!(
-        "\nreceived {} packets (highest seq {max_seq}); min one-way skew anchor applied",
-        records.len()
-    );
-    let mut shares = std::collections::BTreeMap::new();
-    for r in records.iter() {
-        *shares.entry(r.3).or_insert(0u64) += 1;
-    }
-    for (path, n) in shares {
-        println!(
-            "path {path}: {:.1}% of the stream",
-            100.0 * n as f64 / total
-        );
-    }
-    println!("\nstartup delay → fraction of late packets:");
-    for &tau in &args.taus {
-        let tau_ns = (tau * 1e9) as i128;
-        let late = records
+        // Post-process: anchor the schedule at the minimum one-way latency.
+        let records = records.lock();
+        if records.is_empty() {
+            println!("no packets received");
+            return Ok(());
+        }
+        let offset = records
             .iter()
-            .filter(|&&(_, gen, arr, _)| arr as i128 - gen as i128 - offset > tau_ns)
-            .count() as f64
-            + (max_seq + 1) as f64
-            - total; // packets never received are late
-        println!("  τ = {tau:>5.1} s → {:.3e}", late / (max_seq + 1) as f64);
-    }
-    Ok(())
+            .map(|&(_, gen, arr, _)| arr as i128 - gen as i128)
+            .min()
+            .expect("non-empty");
+        let total = records.len() as f64;
+        let max_seq = records.iter().map(|r| r.0).max().expect("non-empty");
+        println!(
+            "\nreceived {} packets (highest seq {max_seq}); min one-way skew anchor applied",
+            records.len()
+        );
+        let mut shares = std::collections::BTreeMap::new();
+        for r in records.iter() {
+            *shares.entry(r.3).or_insert(0u64) += 1;
+        }
+        for (path, n) in shares {
+            println!(
+                "path {path}: {:.1}% of the stream",
+                100.0 * n as f64 / total
+            );
+        }
+        println!("\nstartup delay → fraction of late packets:");
+        for &tau in &args.taus {
+            let tau_ns = (tau * 1e9) as i128;
+            let late = records
+                .iter()
+                .filter(|&&(_, gen, arr, _)| arr as i128 - gen as i128 - offset > tau_ns)
+                .count() as f64
+                + (max_seq + 1) as f64
+                - total; // packets never received are late
+            println!("  τ = {tau:>5.1} s → {:.3e}", late / (max_seq + 1) as f64);
+        }
+        Ok(())
+    })
 }

@@ -75,84 +75,85 @@ struct Queue {
     done: std::sync::atomic::AtomicBool,
 }
 
-#[tokio::main]
-async fn main() -> std::io::Result<()> {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    };
-    let packets = (args.seconds * args.mu) as u64;
-    println!(
-        "streaming {} packets ({} pkt/s × {:.0} s, {} B each ≈ {:.0} kbps) over {} path(s)",
-        packets,
-        args.mu,
-        args.seconds,
-        args.packet_bytes,
-        args.mu * args.packet_bytes as f64 * 8.0 / 1e3,
-        args.connect.len()
-    );
-
-    let queue = Arc::new(Queue::default());
-    let mut senders = Vec::new();
-    for (k, addr) in args.connect.iter().enumerate() {
-        let addr: std::net::SocketAddr = addr
-            .parse()
-            .unwrap_or_else(|e| panic!("bad address {addr}: {e}"));
-        let socket = TcpSocket::new_v4()?;
-        socket.set_send_buffer_size(args.sndbuf)?;
-        let mut sock = socket.connect(addr).await?;
-        sock.set_nodelay(true)?;
-        println!("path {k}: connected to {addr}");
-        let queue = Arc::clone(&queue);
-        let packet_bytes = args.packet_bytes;
-        senders.push(tokio::spawn(async move {
-            let mut out = BytesMut::with_capacity(packet_bytes);
-            let mut sent = 0u64;
-            loop {
-                let frame = { queue.q.lock().pop_front() };
-                match frame {
-                    Some(f) => {
-                        out.clear();
-                        encode(&f, packet_bytes, &mut out);
-                        if sock.write_all(&out).await.is_err() {
-                            break;
-                        }
-                        sent += 1;
-                    }
-                    None if queue.done.load(std::sync::atomic::Ordering::SeqCst) => break,
-                    None => queue.notify.notified().await,
-                }
+fn main() -> std::io::Result<()> {
+    tokio::runtime::Runtime::new().unwrap().block_on(async {
+        let args = match parse_args() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
             }
-            let _ = sock.shutdown().await;
-            sent
-        }));
-    }
+        };
+        let packets = (args.seconds * args.mu) as u64;
+        println!(
+            "streaming {} packets ({} pkt/s × {:.0} s, {} B each ≈ {:.0} kbps) over {} path(s)",
+            packets,
+            args.mu,
+            args.seconds,
+            args.packet_bytes,
+            args.mu * args.packet_bytes as f64 * 8.0 / 1e3,
+            args.connect.len()
+        );
 
-    // CBR generator.
-    let epoch = Instant::now();
-    let interval = Duration::from_secs_f64(1.0 / args.mu);
-    let mut next = epoch;
-    for seq in 0..packets {
-        next += interval;
-        tokio::time::sleep_until(next).await;
-        let gen_ns = epoch.elapsed().as_nanos() as u64;
-        queue.q.lock().push_back(Frame { seq, gen_ns });
-        queue.notify.notify_waiters();
-    }
-    queue.done.store(true, std::sync::atomic::Ordering::SeqCst);
-    queue.notify.notify_waiters();
-
-    for (k, h) in senders.into_iter().enumerate() {
-        if let Ok(sent) = h.await {
-            println!(
-                "path {k}: sent {sent} packets ({:.0}%)",
-                100.0 * sent as f64 / packets as f64
-            );
+        let queue = Arc::new(Queue::default());
+        let mut senders = Vec::new();
+        for (k, addr) in args.connect.iter().enumerate() {
+            let addr: std::net::SocketAddr = addr
+                .parse()
+                .unwrap_or_else(|e| panic!("bad address {addr}: {e}"));
+            let socket = TcpSocket::new_v4()?;
+            socket.set_send_buffer_size(args.sndbuf)?;
+            let mut sock = socket.connect(addr).await?;
+            sock.set_nodelay(true)?;
+            println!("path {k}: connected to {addr}");
+            let queue = Arc::clone(&queue);
+            let packet_bytes = args.packet_bytes;
+            senders.push(tokio::spawn(async move {
+                let mut out = BytesMut::with_capacity(packet_bytes);
+                let mut sent = 0u64;
+                loop {
+                    let frame = { queue.q.lock().pop_front() };
+                    match frame {
+                        Some(f) => {
+                            out.clear();
+                            encode(&f, packet_bytes, &mut out);
+                            if sock.write_all(&out).await.is_err() {
+                                break;
+                            }
+                            sent += 1;
+                        }
+                        None if queue.done.load(std::sync::atomic::Ordering::SeqCst) => break,
+                        None => queue.notify.notified().await,
+                    }
+                }
+                let _ = sock.shutdown().await;
+                sent
+            }));
         }
-    }
-    println!("done in {:.1} s", epoch.elapsed().as_secs_f64());
-    Ok(())
+
+        // CBR generator.
+        let epoch = Instant::now();
+        let interval = Duration::from_secs_f64(1.0 / args.mu);
+        let mut next = epoch;
+        for seq in 0..packets {
+            next += interval;
+            tokio::time::sleep_until(next).await;
+            let gen_ns = epoch.elapsed().as_nanos() as u64;
+            queue.q.lock().push_back(Frame { seq, gen_ns });
+            queue.notify.notify_waiters();
+        }
+        queue.done.store(true, std::sync::atomic::Ordering::SeqCst);
+        queue.notify.notify_waiters();
+
+        for (k, h) in senders.into_iter().enumerate() {
+            if let Ok(sent) = h.await {
+                println!(
+                    "path {k}: sent {sent} packets ({:.0}%)",
+                    100.0 * sent as f64 / packets as f64
+                );
+            }
+        }
+        println!("done in {:.1} s", epoch.elapsed().as_secs_f64());
+        Ok(())
+    })
 }

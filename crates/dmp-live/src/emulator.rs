@@ -16,7 +16,7 @@ use std::time::Duration;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
-use tokio::net::{TcpListener, TcpStream};
+use tokio::net::{TcpSocket, TcpStream};
 use tokio::sync::mpsc;
 use tokio::time::Instant;
 
@@ -74,7 +74,16 @@ impl PathEmulator {
         downstream_addr: std::net::SocketAddr,
         seed: u64,
     ) -> std::io::Result<Self> {
-        let listener = TcpListener::bind("127.0.0.1:0").await?;
+        // Cap the upstream receive buffer: kernel autotuning would otherwise
+        // grow it to hundreds of KB on loopback, letting a slow path absorb
+        // most of a short stream into in-flight kernel buffers and blunting
+        // the backpressure signal DMP schedules on. 16 KiB (the kernel
+        // doubles it) keeps the path's queue the dominant buffer, so results
+        // do not depend on host tcp_rmem settings.
+        let socket = TcpSocket::new_v4()?;
+        socket.set_recv_buffer_size(UPSTREAM_RCVBUF)?;
+        socket.bind("127.0.0.1:0".parse().expect("literal addr"))?;
+        let listener = socket.listen(8)?;
         let addr = listener.local_addr()?;
         let stats = Arc::new(PathStats::default());
         let stats2 = Arc::clone(&stats);
@@ -94,6 +103,10 @@ impl PathEmulator {
 
 /// Chunk size forwarded through the shaper (one video packet fits).
 const CHUNK: usize = 2048;
+
+/// `SO_RCVBUF` for the upstream (server-facing) side of the proxy; see
+/// [`PathEmulator::spawn`].
+const UPSTREAM_RCVBUF: u32 = 16 * 1024;
 
 async fn run_proxy(
     mut upstream: TcpStream,
@@ -175,6 +188,7 @@ async fn run_proxy(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tokio::net::TcpListener;
 
     /// Pump `n` bytes through an emulator and return the elapsed time.
     async fn pump(profile: PathProfile, n: usize) -> Duration {
@@ -206,42 +220,48 @@ mod tests {
         send_start.elapsed()
     }
 
-    #[tokio::test]
-    async fn shaper_enforces_rate() {
-        // 400 kbps, 100 KB → ≥ 2.0 s.
-        let profile = PathProfile::steady(400_000.0, Duration::from_millis(1));
-        let elapsed = pump(profile, 100_000).await;
-        let secs = elapsed.as_secs_f64();
-        assert!(secs > 1.7, "took {secs:.2}s, shaping too loose");
-        assert!(secs < 4.0, "took {secs:.2}s, shaping too tight");
+    #[test]
+    fn shaper_enforces_rate() {
+        tokio::runtime::Runtime::new().unwrap().block_on(async {
+            // 400 kbps, 100 KB → ≥ 2.0 s.
+            let profile = PathProfile::steady(400_000.0, Duration::from_millis(1));
+            let elapsed = pump(profile, 100_000).await;
+            let secs = elapsed.as_secs_f64();
+            assert!(secs > 1.7, "took {secs:.2}s, shaping too loose");
+            assert!(secs < 4.0, "took {secs:.2}s, shaping too tight");
+        })
     }
 
-    #[tokio::test]
-    async fn fast_path_is_fast() {
-        let profile = PathProfile::steady(50_000_000.0, Duration::from_millis(1));
-        let elapsed = pump(profile, 100_000).await;
-        assert!(elapsed.as_secs_f64() < 1.0, "took {:?}", elapsed);
+    #[test]
+    fn fast_path_is_fast() {
+        tokio::runtime::Runtime::new().unwrap().block_on(async {
+            let profile = PathProfile::steady(50_000_000.0, Duration::from_millis(1));
+            let elapsed = pump(profile, 100_000).await;
+            assert!(elapsed.as_secs_f64() < 1.0, "took {:?}", elapsed);
+        })
     }
 
-    #[tokio::test]
-    async fn delay_is_applied() {
-        // Tiny transfer: elapsed ≈ one-way delay.
-        let profile = PathProfile::steady(10_000_000.0, Duration::from_millis(150));
-        let sink = TcpListener::bind("127.0.0.1:0").await.unwrap();
-        let sink_addr = sink.local_addr().unwrap();
-        let emu = PathEmulator::spawn(profile, sink_addr, 1).await.unwrap();
-        let accept = tokio::spawn(async move {
-            let (mut s, _) = sink.accept().await.unwrap();
-            let mut buf = [0u8; 16];
-            let _ = s.read_exact(&mut buf).await;
-            Instant::now()
-        });
-        let mut up = TcpStream::connect(emu.addr()).await.unwrap();
-        let t0 = Instant::now();
-        up.write_all(&[0u8; 16]).await.unwrap();
-        let t1 = accept.await.unwrap();
-        let owd = (t1 - t0).as_secs_f64();
-        assert!(owd > 0.14, "one-way delay {owd:.3}s");
-        assert!(owd < 0.5, "one-way delay {owd:.3}s");
+    #[test]
+    fn delay_is_applied() {
+        tokio::runtime::Runtime::new().unwrap().block_on(async {
+            // Tiny transfer: elapsed ≈ one-way delay.
+            let profile = PathProfile::steady(10_000_000.0, Duration::from_millis(150));
+            let sink = TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let sink_addr = sink.local_addr().unwrap();
+            let emu = PathEmulator::spawn(profile, sink_addr, 1).await.unwrap();
+            let accept = tokio::spawn(async move {
+                let (mut s, _) = sink.accept().await.unwrap();
+                let mut buf = [0u8; 16];
+                let _ = s.read_exact(&mut buf).await;
+                Instant::now()
+            });
+            let mut up = TcpStream::connect(emu.addr()).await.unwrap();
+            let t0 = Instant::now();
+            up.write_all(&[0u8; 16]).await.unwrap();
+            let t1 = accept.await.unwrap();
+            let owd = (t1 - t0).as_secs_f64();
+            assert!(owd > 0.14, "one-way delay {owd:.3}s");
+            assert!(owd < 0.5, "one-way delay {owd:.3}s");
+        })
     }
 }

@@ -155,23 +155,32 @@ mod tests {
         assert!((exp.aggregate_ratio() - 2.07).abs() < 0.05);
     }
 
-    #[tokio::test]
-    async fn ample_live_run_has_no_late_packets_at_modest_tau() {
-        // 2× headroom, ~4 s of video.
-        let exp = two_path_exp(1_200_000.0, 1_200_000.0, 100.0, 400);
-        let run = run_experiment(&exp, &[0.5, 2.0]).await.unwrap();
-        assert!(run.output.trace.delivered() >= 399);
-        let f2 = run.report.per_tau[1].playback_order;
-        assert_eq!(f2, 0.0, "2 s of buffer with 2× headroom must be clean");
+    #[test]
+    fn ample_live_run_has_no_late_packets_at_modest_tau() {
+        tokio::runtime::Runtime::new().unwrap().block_on(async {
+            // 2× headroom, ~4 s of video.
+            let exp = two_path_exp(1_200_000.0, 1_200_000.0, 100.0, 400);
+            let run = run_experiment(&exp, &[0.5, 2.0]).await.unwrap();
+            assert!(run.output.trace.delivered() >= 399);
+            let f2 = run.report.per_tau[1].playback_order;
+            assert_eq!(f2, 0.0, "2 s of buffer with 2× headroom must be clean");
+        })
     }
 
-    #[tokio::test]
-    async fn starved_live_run_is_late() {
-        // Aggregate ≈ 0.7× bitrate: lateness is unavoidable.
-        let exp = two_path_exp(300_000.0, 300_000.0, 75.0, 300);
-        let run = run_experiment(&exp, &[1.0]).await.unwrap();
-        let f = run.report.per_tau[0].playback_order;
-        assert!(f > 0.1, "f = {f}");
+    #[test]
+    fn starved_live_run_is_late() {
+        tokio::runtime::Runtime::new().unwrap().block_on(async {
+            // Aggregate ≈ 0.7× bitrate: lateness is unavoidable. The run must be
+            // long enough that the lateness backlog reaches the *stable* region
+            // of the trace: `stable_records` discards packets generated within
+            // τ+5 s of the window end, and starvation needs a couple of seconds
+            // before delivery falls ~1 s behind generation. 8 s of video leaves
+            // a 5 s stable prefix whose tail is deeply late.
+            let exp = two_path_exp(300_000.0, 300_000.0, 75.0, 600);
+            let run = run_experiment(&exp, &[1.0]).await.unwrap();
+            let f = run.report.per_tau[0].playback_order;
+            assert!(f > 0.1, "f = {f}");
+        })
     }
 
     #[test]

@@ -229,77 +229,91 @@ mod tests {
         }
     }
 
-    #[tokio::test]
-    async fn direct_loopback_delivers_everything() {
-        let (ls, addrs) = listeners(2).await;
-        let out = run_stream(cfg(100.0, 200), &addrs, ls, Duration::from_secs(2))
-            .await
-            .unwrap();
-        assert_eq!(out.trace.generated(), 200);
-        assert_eq!(out.trace.delivered(), 200);
-        assert_eq!(out.per_path_packets.iter().sum::<u64>(), 200);
+    #[test]
+    fn direct_loopback_delivers_everything() {
+        tokio::runtime::Runtime::new().unwrap().block_on(async {
+            let (ls, addrs) = listeners(2).await;
+            let out = run_stream(cfg(100.0, 200), &addrs, ls, Duration::from_secs(2))
+                .await
+                .unwrap();
+            assert_eq!(out.trace.generated(), 200);
+            assert_eq!(out.trace.delivered(), 200);
+            assert_eq!(out.per_path_packets.iter().sum::<u64>(), 200);
+        })
     }
 
-    #[tokio::test]
-    async fn faster_path_carries_more() {
-        // Path 0: 4 Mbps; path 1: 400 kbps. Video 800 kbps → path 0 must
-        // carry clearly more than path 1.
-        let (ls, client_addrs) = listeners(2).await;
-        let e0 = PathEmulator::spawn(
-            PathProfile::steady(4_000_000.0, Duration::from_millis(5)),
-            client_addrs[0],
-            1,
-        )
-        .await
-        .unwrap();
-        let e1 = PathEmulator::spawn(
-            PathProfile::steady(400_000.0, Duration::from_millis(5)),
-            client_addrs[1],
-            2,
-        )
-        .await
-        .unwrap();
-        let out = run_stream(
-            cfg(69.0, 350), // ≈ 800 kbps for ~5 s
-            &[e0.addr(), e1.addr()],
-            ls,
-            Duration::from_secs(3),
-        )
-        .await
-        .unwrap();
-        let delivered = out.trace.delivered();
-        assert!(delivered > 330, "delivered {delivered}");
-        let shares = out.trace.path_shares(2);
-        assert!(
-            shares[0] > 1.5 * shares[1],
-            "expected path 0 to dominate: {shares:?}"
-        );
-    }
-
-    #[tokio::test]
-    async fn constrained_paths_cause_late_packets_only_at_small_tau() {
-        // Aggregate capacity ≈ 1.25× bitrate over two slow paths: delivery
-        // works but needs buffering; τ = 0.05 s should show late packets,
-        // τ = 10 s none.
-        let (ls, client_addrs) = listeners(2).await;
-        let mut addrs = Vec::new();
-        for (i, &ca) in client_addrs.iter().enumerate() {
-            let e = PathEmulator::spawn(
-                PathProfile::steady(500_000.0, Duration::from_millis(20)),
-                ca,
-                i as u64,
+    #[test]
+    fn faster_path_carries_more() {
+        tokio::runtime::Runtime::new().unwrap().block_on(async {
+            // Path 0: 4 Mbps; path 1: 120 kbps. Video 800 kbps. The slow path
+            // must sit well below *half* the demand: in the pull race each path
+            // is offered up to half the stream, so a 400 kbps path (= exactly
+            // half of 800 kbps) would legitimately keep up and earn ~50% — no
+            // dominance to observe. At 120 kbps the slow path saturates, its
+            // send buffer backs up, and path 0 takes the rest.
+            let (ls, client_addrs) = listeners(2).await;
+            let e0 = PathEmulator::spawn(
+                PathProfile::steady(4_000_000.0, Duration::from_millis(5)),
+                client_addrs[0],
+                1,
             )
             .await
             .unwrap();
-            addrs.push(e.addr());
-        }
-        let out = run_stream(cfg(69.0, 300), &addrs, ls, Duration::from_secs(4))
+            let e1 = PathEmulator::spawn(
+                PathProfile::steady(120_000.0, Duration::from_millis(5)),
+                client_addrs[1],
+                2,
+            )
             .await
             .unwrap();
-        let report = dmp_core::metrics::LatenessReport::from_trace(&out.trace, &[0.05, 10.0]);
-        let f_small = report.per_tau[0].playback_order;
-        let f_large = report.per_tau[1].playback_order;
-        assert!(f_large <= f_small);
-        assert_eq!(f_large, 0.0, "10 s of buffer must absorb everything");
+            let out = run_stream(
+                cfg(69.0, 350), // ≈ 800 kbps for ~5 s
+                &[e0.addr(), e1.addr()],
+                ls,
+                Duration::from_secs(3),
+            )
+            .await
+            .unwrap();
+            // Packets committed to the slow path's in-flight buffers (its queue
+            // plus kernel send/receive buffers, ~60 packets) drain at only
+            // ~10 pkt/s, so the tail cannot arrive within the grace window; the
+            // invariant is that the fast path keeps the stream moving.
+            let delivered = out.trace.delivered();
+            assert!(delivered > 270, "delivered {delivered}");
+            let shares = out.trace.path_shares(2);
+            assert!(
+                shares[0] > 1.5 * shares[1],
+                "expected path 0 to dominate: {shares:?}"
+            );
+        })
+    }
+
+    #[test]
+    fn constrained_paths_cause_late_packets_only_at_small_tau() {
+        tokio::runtime::Runtime::new().unwrap().block_on(async {
+            // Aggregate capacity ≈ 1.25× bitrate over two slow paths: delivery
+            // works but needs buffering; τ = 0.05 s should show late packets,
+            // τ = 10 s none.
+            let (ls, client_addrs) = listeners(2).await;
+            let mut addrs = Vec::new();
+            for (i, &ca) in client_addrs.iter().enumerate() {
+                let e = PathEmulator::spawn(
+                    PathProfile::steady(500_000.0, Duration::from_millis(20)),
+                    ca,
+                    i as u64,
+                )
+                .await
+                .unwrap();
+                addrs.push(e.addr());
+            }
+            let out = run_stream(cfg(69.0, 300), &addrs, ls, Duration::from_secs(4))
+                .await
+                .unwrap();
+            let report = dmp_core::metrics::LatenessReport::from_trace(&out.trace, &[0.05, 10.0]);
+            let f_small = report.per_tau[0].playback_order;
+            let f_large = report.per_tau[1].playback_order;
+            assert!(f_large <= f_small);
+            assert_eq!(f_large, 0.0, "10 s of buffer must absorb everything");
+        })
     }
 }

@@ -129,45 +129,49 @@ mod tests {
         encode(&Frame { seq: 0, gen_ns: 0 }, 8, &mut buf);
     }
 
-    mod prop {
-        use super::*;
-        use proptest::prelude::*;
+    /// Frames decode identically however the byte stream is split into
+    /// reads (the client feeds arbitrary chunks into the decoder).
+    /// Randomized over seeded cases for reproducibility.
+    #[test]
+    fn decoding_is_split_invariant() {
+        use rand::rngs::SmallRng;
+        use rand::{RngCore, SeedableRng};
+        for case in 0..128u64 {
+            let mut rng = SmallRng::seed_from_u64(0x5eed_713e ^ case);
+            let n_frames = 1 + (rng.next_u64() as usize) % 19;
+            let frames: Vec<(u64, u64)> = (0..n_frames)
+                .map(|_| (rng.next_u64(), rng.next_u64()))
+                .collect();
+            let pkt_len = 24 + (rng.next_u64() as usize) % 232;
+            let n_cuts = 1 + (rng.next_u64() as usize) % 39;
+            let cuts: Vec<usize> = (0..n_cuts)
+                .map(|_| 1 + (rng.next_u64() as usize) % 63)
+                .collect();
 
-        proptest! {
-            /// Frames decode identically however the byte stream is split
-            /// into reads (the client feeds arbitrary chunks into the
-            /// decoder).
-            #[test]
-            fn decoding_is_split_invariant(
-                frames in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..20),
-                pkt_len in 24usize..256,
-                cuts in proptest::collection::vec(1usize..64, 1..40),
-            ) {
-                let mut stream = BytesMut::new();
-                for &(seq, gen_ns) in &frames {
-                    encode(&Frame { seq, gen_ns }, pkt_len, &mut stream);
-                }
-                let bytes = stream.freeze();
-                // Feed in arbitrary-sized chunks.
-                let mut buf = BytesMut::new();
-                let mut decoded = Vec::new();
-                let mut pos = 0usize;
-                let mut cut_iter = cuts.iter().cycle();
-                while pos < bytes.len() {
-                    let step = (*cut_iter.next().unwrap()).min(bytes.len() - pos);
-                    buf.extend_from_slice(&bytes[pos..pos + step]);
-                    pos += step;
-                    loop {
-                        match decode(&mut buf) {
-                            Ok(f) => decoded.push((f.seq, f.gen_ns)),
-                            Err(DecodeError::Incomplete) => break,
-                            Err(DecodeError::Corrupt) => prop_assert!(false, "corrupt"),
-                        }
+            let mut stream = BytesMut::new();
+            for &(seq, gen_ns) in &frames {
+                encode(&Frame { seq, gen_ns }, pkt_len, &mut stream);
+            }
+            let bytes = stream.freeze();
+            // Feed in arbitrary-sized chunks.
+            let mut buf = BytesMut::new();
+            let mut decoded = Vec::new();
+            let mut pos = 0usize;
+            let mut cut_iter = cuts.iter().cycle();
+            while pos < bytes.len() {
+                let step = (*cut_iter.next().unwrap()).min(bytes.len() - pos);
+                buf.extend_from_slice(&bytes[pos..pos + step]);
+                pos += step;
+                loop {
+                    match decode(&mut buf) {
+                        Ok(f) => decoded.push((f.seq, f.gen_ns)),
+                        Err(DecodeError::Incomplete) => break,
+                        Err(DecodeError::Corrupt) => panic!("corrupt at case {case}"),
                     }
                 }
-                prop_assert_eq!(decoded, frames);
-                prop_assert!(buf.is_empty());
             }
+            assert_eq!(decoded, frames, "case {case}");
+            assert!(buf.is_empty(), "case {case}");
         }
     }
 }

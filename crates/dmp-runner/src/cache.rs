@@ -1,0 +1,276 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Key = hash(config representation, seed, code-version salt). Entries live
+//! one-per-file under the cache directory as JSON envelopes carrying their
+//! own salt, key, and payload checksum; any mismatch or parse failure is a
+//! *miss*, never an error — a corrupt or stale cache can only cost time.
+//!
+//! Layout: `<dir>/<key[0..2]>/<key>.json` (fan-out keeps directories small).
+//! Writes are atomic (`.tmp` + rename) so an interrupted sweep never leaves
+//! a truncated entry that later reads would trust.
+
+use crate::hash::StableHasher;
+use crate::json::{self, Json};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Envelope format version; bump when the on-disk layout changes.
+const FORMAT_VERSION: f64 = 1.0;
+
+/// Code-version salt. Bump whenever experiment semantics change in a way
+/// that should invalidate previously cached results without a version bump.
+pub const CODE_SALT: &str = "dmp-runner-2026-08-a";
+
+/// Handle to a cache directory (cheap to clone; counters are shared).
+#[derive(Debug)]
+pub struct Cache {
+    dir: PathBuf,
+    salt: String,
+    enabled: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Cache {
+    /// Cache rooted at `dir` with the default code-version salt.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self::with_salt(dir, default_salt())
+    }
+
+    /// Cache rooted at `dir` with an explicit salt (tests use this to model
+    /// "code changed since this entry was written").
+    pub fn with_salt(dir: impl Into<PathBuf>, salt: impl Into<String>) -> Self {
+        Self {
+            dir: dir.into(),
+            salt: salt.into(),
+            enabled: true,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache configured from the environment:
+    /// `DMP_CACHE_DIR` overrides the location (default `target/dmp-cache`),
+    /// `DMP_CACHE_SALT` appends to the code-version salt,
+    /// `DMP_NO_CACHE=1` disables reads and writes.
+    pub fn from_env() -> Self {
+        let dir = std::env::var_os("DMP_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(default_dir);
+        let mut cache = Self::new(dir);
+        if let Ok(extra) = std::env::var("DMP_CACHE_SALT") {
+            cache.salt.push('/');
+            cache.salt.push_str(&extra);
+        }
+        if std::env::var("DMP_NO_CACHE").is_ok_and(|v| v == "1") {
+            cache.enabled = false;
+        }
+        cache
+    }
+
+    /// A disabled cache: every lookup misses, stores are dropped.
+    pub fn disabled() -> Self {
+        let mut cache = Self::new(default_dir());
+        cache.enabled = false;
+        cache
+    }
+
+    /// Whether lookups/stores are active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Directory entries are written under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Content key for a job: every byte of `config_repr`, the `seed`, and
+    /// the code-version salt participate.
+    pub fn key(&self, config_repr: &str, seed: u64) -> String {
+        let mut h = StableHasher::new();
+        h.write_str(&self.salt);
+        h.write_str(config_repr);
+        h.write_u64(seed);
+        h.finish_hex()
+    }
+
+    /// Look up `key`; `Some(payload)` only for a well-formed entry written
+    /// under the same salt. Increments the hit/miss counters.
+    pub fn load(&self, key: &str) -> Option<Json> {
+        let result = self.load_inner(key);
+        match result {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    fn load_inner(&self, key: &str) -> Option<Json> {
+        if !self.enabled {
+            return None;
+        }
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let envelope = json::parse(&text)?;
+        if envelope.get("v")?.as_f64()? != FORMAT_VERSION {
+            return None;
+        }
+        if envelope.get("salt")?.as_str()? != self.salt {
+            return None;
+        }
+        if envelope.get("key")?.as_str()? != key {
+            return None;
+        }
+        let payload = envelope.get("payload")?;
+        let crc = envelope.get("crc")?.as_str()?;
+        if payload_checksum(payload) != crc {
+            return None;
+        }
+        Some(payload.clone())
+    }
+
+    /// Persist `payload` under `key`. I/O errors are swallowed (a read-only
+    /// cache directory degrades to a no-op cache, it doesn't fail the sweep).
+    pub fn store(&self, key: &str, payload: &Json) {
+        if !self.enabled {
+            return;
+        }
+        let path = self.entry_path(key);
+        let Some(parent) = path.parent() else {
+            return;
+        };
+        if std::fs::create_dir_all(parent).is_err() {
+            return;
+        }
+        let envelope = Json::obj([
+            ("v", Json::Num(FORMAT_VERSION)),
+            ("salt", Json::Str(self.salt.clone())),
+            ("key", Json::Str(key.to_string())),
+            ("crc", Json::Str(payload_checksum(payload))),
+            ("payload", payload.clone()),
+        ]);
+        // Unique tmp name per thread so concurrent stores of different keys
+        // (or even the same key) never interleave partial writes.
+        let tmp = parent.join(format!(".{}.{:?}.tmp", key, std::thread::current().id()));
+        if std::fs::write(&tmp, envelope.render_pretty()).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+
+    /// (hits, misses) observed through this handle.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        let fan = key.get(0..2).unwrap_or("xx");
+        self.dir.join(fan).join(format!("{key}.json"))
+    }
+}
+
+fn payload_checksum(payload: &Json) -> String {
+    crate::hash::hex_digest(payload.render().as_bytes())
+}
+
+fn default_salt() -> String {
+    format!("{}/{}", env!("CARGO_PKG_VERSION"), CODE_SALT)
+}
+
+fn default_dir() -> PathBuf {
+    if let Some(target) = std::env::var_os("CARGO_TARGET_DIR") {
+        return PathBuf::from(target).join("dmp-cache");
+    }
+    PathBuf::from("target").join("dmp-cache")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::TempDir;
+
+    fn payload() -> Json {
+        Json::obj([("mean", Json::Num(0.25)), ("runs", Json::Num(3.0))])
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let tmp = TempDir::new("cache-roundtrip");
+        let cache = Cache::new(tmp.path());
+        let key = cache.key("spec{duration=300}", 42);
+        assert!(cache.load(&key).is_none(), "cold cache misses");
+        cache.store(&key, &payload());
+        assert_eq!(cache.load(&key), Some(payload()));
+        assert_eq!(cache.counters(), (1, 1));
+    }
+
+    #[test]
+    fn key_depends_on_every_input() {
+        let tmp = TempDir::new("cache-keys");
+        let cache = Cache::new(tmp.path());
+        let base = cache.key("spec{duration=300,loss=0.01}", 42);
+        // Any config field change produces a different key.
+        assert_ne!(base, cache.key("spec{duration=301,loss=0.01}", 42));
+        assert_ne!(base, cache.key("spec{duration=300,loss=0.02}", 42));
+        // Seed changes produce a different key.
+        assert_ne!(base, cache.key("spec{duration=300,loss=0.01}", 43));
+        // Salt changes produce a different key.
+        let other_salt = Cache::with_salt(tmp.path(), "other");
+        assert_ne!(base, other_salt.key("spec{duration=300,loss=0.01}", 42));
+    }
+
+    #[test]
+    fn stale_salt_entries_are_ignored() {
+        let tmp = TempDir::new("cache-salt");
+        let old = Cache::with_salt(tmp.path(), "code-v1");
+        let new = Cache::with_salt(tmp.path(), "code-v2");
+        // Force the same on-disk location despite differing salts, modelling
+        // an entry left behind by an older build.
+        let key = old.key("spec", 1);
+        old.store(&key, &payload());
+        assert_eq!(old.load(&key), Some(payload()));
+        assert!(
+            new.load(&key).is_none(),
+            "entry written under a different salt must be a miss"
+        );
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses_not_panics() {
+        let tmp = TempDir::new("cache-corrupt");
+        let cache = Cache::new(tmp.path());
+        let key = cache.key("spec", 7);
+        cache.store(&key, &payload());
+        let path = tmp.path().join(&key[0..2]).join(format!("{key}.json"));
+
+        for garbage in [
+            "",                             // truncated to nothing
+            "not json at all",              // unparseable
+            "{\"v\": 1}",                   // missing fields
+            "{\"v\": 99, \"salt\": \"x\"}", // wrong version
+        ] {
+            std::fs::write(&path, garbage).unwrap();
+            assert!(cache.load(&key).is_none(), "garbage {garbage:?} must miss");
+        }
+
+        // Valid envelope whose payload was tampered with: checksum rejects it.
+        cache.store(&key, &payload());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replace("0.25", "0.75");
+        assert_ne!(text, tampered, "tamper target present");
+        std::fs::write(&path, tampered).unwrap();
+        assert!(cache.load(&key).is_none(), "bad checksum must miss");
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let tmp = TempDir::new("cache-disabled");
+        let mut cache = Cache::new(tmp.path());
+        cache.enabled = false;
+        let key = cache.key("spec", 1);
+        cache.store(&key, &payload());
+        assert!(cache.load(&key).is_none());
+    }
+}

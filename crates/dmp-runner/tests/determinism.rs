@@ -1,0 +1,86 @@
+//! Regression test for the determinism contract: a sweep executed on one
+//! thread and on eight threads must produce byte-identical JSON artifacts.
+//! Results come back in submission order no matter which worker finished
+//! first, and the artifact data payload contains no volatile telemetry.
+
+use dmp_runner::test_util::TempDir;
+use dmp_runner::{ArtifactWriter, Cache, JobSpec, Json, Runner};
+
+/// A seeded pseudo-computation with deliberately uneven run time, so that on
+/// a multi-threaded pool completion order differs from submission order.
+fn job(i: u64) -> JobSpec<Vec<f64>> {
+    JobSpec::new(
+        format!("determinism:job{i}"),
+        format!("determinism/v1/job{i}"),
+        i,
+        move || {
+            // Heavier work for low indices: later submissions finish first.
+            let rounds = 20_000 * (32 - i) + 1;
+            let mut x = i as f64 + 1.0;
+            for k in 0..rounds {
+                x = (x * 1.000_001 + (k % 7) as f64).rem_euclid(1.0e6);
+            }
+            vec![i as f64, x]
+        },
+    )
+}
+
+fn sweep_artifact(threads: usize, dir: &TempDir) -> Vec<u8> {
+    let runner = Runner::new(threads, Cache::disabled()).with_progress(false);
+    let cells = runner.run_all((0..32).map(job).collect());
+    // Every label must come back in submission order.
+    for (i, cell) in cells.iter().enumerate() {
+        assert_eq!(cell.label, format!("determinism:job{i}"));
+    }
+    let rows: Vec<Json> = cells
+        .iter()
+        .map(|c| Json::nums(c.ok().expect("pure job").iter().copied()))
+        .collect();
+    let writer = ArtifactWriter::new(dir.path().join(format!("t{threads}")));
+    let path = writer
+        .write("determinism", &Json::obj([("rows", Json::Arr(rows))]))
+        .expect("write artifact");
+    std::fs::read(path).expect("read artifact back")
+}
+
+#[test]
+fn artifacts_are_byte_identical_across_thread_counts() {
+    let tmp = TempDir::new("determinism");
+    let serial = sweep_artifact(1, &tmp);
+    let parallel = sweep_artifact(8, &tmp);
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "artifact bytes must not depend on the thread count"
+    );
+}
+
+#[test]
+fn cached_rerun_is_byte_identical_too() {
+    let tmp = TempDir::new("determinism-cache");
+    let cache_dir = tmp.path().join("cache");
+
+    let run = |threads: usize, tag: &str| -> (Vec<u8>, usize) {
+        let runner = Runner::new(threads, Cache::new(&cache_dir)).with_progress(false);
+        let cells = runner.run_all((0..8).map(job).collect());
+        let rows: Vec<Json> = cells
+            .iter()
+            .map(|c| Json::nums(c.ok().expect("pure job").iter().copied()))
+            .collect();
+        let hits = cells.iter().filter(|c| c.from_cache).count();
+        let writer = ArtifactWriter::new(tmp.path().join(tag));
+        let path = writer
+            .write("determinism", &Json::obj([("rows", Json::Arr(rows))]))
+            .expect("write artifact");
+        (std::fs::read(path).expect("read artifact back"), hits)
+    };
+
+    let (cold, cold_hits) = run(8, "cold");
+    let (warm, warm_hits) = run(1, "warm");
+    assert_eq!(cold_hits, 0, "first run must compute everything");
+    assert_eq!(warm_hits, 8, "second run must be served from the cache");
+    assert_eq!(
+        cold, warm,
+        "cache-served artifact bytes must match the computed ones"
+    );
+}

@@ -3,10 +3,11 @@
 //! plus the measured per-path TCP parameters (the `p`, `R`, `T_O`, µ columns
 //! of Tables 2 and 3).
 
-use dmp_core::metrics::LatenessReport;
+use dmp_core::metrics::{LateFractions, LatenessReport};
 use dmp_core::spec::{PathSpec, SchedulerKind};
 use dmp_core::stats::OnlineStats;
 use dmp_core::trace::StreamTrace;
+use dmp_runner::{JobSpec, Json, JsonCodec};
 use netsim::{secs, Sim};
 
 use crate::configs::{config, Setting};
@@ -52,6 +53,17 @@ impl ExperimentSpec {
             video_flavor: netsim::tcp::TcpFlavor::Reno,
             seed,
         }
+    }
+}
+
+impl ExperimentSpec {
+    /// Stable, complete textual representation of this spec for
+    /// content-addressed caching. Every field that influences the simulation
+    /// appears (via `Debug`, which round-trips `f64` exactly); the leading
+    /// version tag invalidates old entries if the representation or the
+    /// simulation semantics change.
+    pub fn config_repr(&self) -> String {
+        format!("dmp-sim/v1/{self:?}")
     }
 }
 
@@ -165,6 +177,114 @@ pub fn run(spec: &ExperimentSpec) -> RunOutput {
     RunOutput { trace, paths }
 }
 
+/// Compact, serialisable result of one run: everything `BatchOutput` needs,
+/// nothing it does not. This is what [`batch_jobs`] jobs return, so it is
+/// also what the runner's content-addressed cache stores — a few hundred
+/// bytes per run instead of the multi-megabyte packet trace.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Measured per-path TCP parameters.
+    pub paths: Vec<MeasuredPath>,
+    /// Late fractions at each requested τ (in request order).
+    pub per_tau: Vec<LateFractions>,
+}
+
+impl RunSummary {
+    /// Rebuild the per-run lateness report (e.g. for Fig. 4a scatters).
+    pub fn report(&self) -> LatenessReport {
+        LatenessReport {
+            per_tau: self.per_tau.clone(),
+        }
+    }
+}
+
+impl JsonCodec for RunSummary {
+    fn to_json(&self) -> Json {
+        let paths = self
+            .paths
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("loss", Json::Num(p.loss)),
+                    ("rtt_s", Json::Num(p.rtt_s)),
+                    ("to_ratio", Json::Num(p.to_ratio)),
+                    ("share", Json::Num(p.share)),
+                ])
+            })
+            .collect();
+        let per_tau = self
+            .per_tau
+            .iter()
+            .map(|lf| {
+                Json::obj([
+                    ("tau_s", Json::Num(lf.tau_s)),
+                    ("playback_order", Json::Num(lf.playback_order)),
+                    ("arrival_order", Json::Num(lf.arrival_order)),
+                    ("total", Json::Num(lf.total as f64)),
+                ])
+            })
+            .collect();
+        Json::obj([("paths", Json::Arr(paths)), ("per_tau", Json::Arr(per_tau))])
+    }
+
+    fn from_json(json: &Json) -> Option<Self> {
+        let paths = json
+            .get("paths")?
+            .as_arr()?
+            .iter()
+            .map(|p| {
+                Some(MeasuredPath {
+                    loss: p.get("loss")?.as_f64()?,
+                    rtt_s: p.get("rtt_s")?.as_f64()?,
+                    to_ratio: p.get("to_ratio")?.as_f64()?,
+                    share: p.get("share")?.as_f64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let per_tau = json
+            .get("per_tau")?
+            .as_arr()?
+            .iter()
+            .map(|lf| {
+                Some(LateFractions {
+                    tau_s: lf.get("tau_s")?.as_f64()?,
+                    playback_order: lf.get("playback_order")?.as_f64()?,
+                    arrival_order: lf.get("arrival_order")?.as_f64()?,
+                    total: lf.get("total")?.as_f64()? as u64,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(Self { paths, per_tau })
+    }
+}
+
+/// Run one experiment and summarise it at the given startup delays.
+pub fn run_summary(spec: &ExperimentSpec, taus_s: &[f64]) -> RunSummary {
+    let out = run(spec);
+    let report = LatenessReport::from_trace(&out.trace, taus_s);
+    RunSummary {
+        paths: out.paths,
+        per_tau: report.per_tau,
+    }
+}
+
+/// Build one cacheable [`JobSpec`] per replication of `spec` (seeds
+/// `spec.seed + i`), for submission to a [`dmp_runner::Runner`]. The τ grid
+/// is part of the cache key — a run evaluated at different startup delays is
+/// a different result.
+pub fn batch_jobs(spec: &ExperimentSpec, runs: usize, taus_s: &[f64]) -> Vec<JobSpec<RunSummary>> {
+    (0..runs)
+        .map(|i| {
+            let mut s = spec.clone();
+            s.seed = spec.seed.wrapping_add(i as u64);
+            let taus: Vec<f64> = taus_s.to_vec();
+            let config_repr = format!("{}/taus{:?}", s.config_repr(), taus);
+            let label = format!("sim:{}:{:?}:run{}", spec.setting.name, spec.scheduler, i);
+            JobSpec::new(label, config_repr, s.seed, move || run_summary(&s, &taus))
+        })
+        .collect()
+}
+
 /// Aggregates over a batch of independent runs (the paper's "30 runs with
 /// 95% confidence intervals").
 #[derive(Debug)]
@@ -185,42 +305,53 @@ pub struct BatchOutput {
     pub reports: Vec<LatenessReport>,
 }
 
-/// Run `runs` independent replications (seeds `spec.seed + i`), evaluating
-/// the late fraction at each startup delay in `taus_s`.
-pub fn run_batch(spec: &ExperimentSpec, runs: usize, taus_s: &[f64]) -> BatchOutput {
-    let k = match spec.scheduler {
-        SchedulerKind::SinglePath => 1,
-        _ => 2,
-    };
-    let mut out = BatchOutput {
-        loss: vec![OnlineStats::new(); k],
-        rtt: vec![OnlineStats::new(); k],
-        to_ratio: vec![OnlineStats::new(); k],
-        share: vec![OnlineStats::new(); k],
-        late_playback: taus_s.iter().map(|&t| (t, OnlineStats::new())).collect(),
-        late_arrival: taus_s.iter().map(|&t| (t, OnlineStats::new())).collect(),
-        reports: Vec::with_capacity(runs),
-    };
-    for i in 0..runs {
-        let mut s = spec.clone();
-        s.seed = spec.seed.wrapping_add(i as u64);
-        let result = run(&s);
-        for (j, p) in result.paths.iter().enumerate() {
-            out.loss[j].push(p.loss);
-            out.rtt[j].push(p.rtt_s);
-            out.to_ratio[j].push(p.to_ratio);
-            out.share[j].push(p.share);
+impl BatchOutput {
+    /// Aggregate per-run summaries (in submission order) into batch
+    /// statistics. This is the reduce step of a batch: [`batch_jobs`] fans
+    /// out, the runner executes, `from_summaries` folds the results back.
+    pub fn from_summaries(taus_s: &[f64], summaries: &[RunSummary]) -> Self {
+        let k = summaries.first().map_or(0, |s| s.paths.len());
+        let mut out = BatchOutput {
+            loss: vec![OnlineStats::new(); k],
+            rtt: vec![OnlineStats::new(); k],
+            to_ratio: vec![OnlineStats::new(); k],
+            share: vec![OnlineStats::new(); k],
+            late_playback: taus_s.iter().map(|&t| (t, OnlineStats::new())).collect(),
+            late_arrival: taus_s.iter().map(|&t| (t, OnlineStats::new())).collect(),
+            reports: Vec::with_capacity(summaries.len()),
+        };
+        for summary in summaries {
+            for (j, p) in summary.paths.iter().enumerate() {
+                out.loss[j].push(p.loss);
+                out.rtt[j].push(p.rtt_s);
+                out.to_ratio[j].push(p.to_ratio);
+                out.share[j].push(p.share);
+            }
+            for (slot, lf) in out.late_playback.iter_mut().zip(&summary.per_tau) {
+                slot.1.push(lf.playback_order);
+            }
+            for (slot, lf) in out.late_arrival.iter_mut().zip(&summary.per_tau) {
+                slot.1.push(lf.arrival_order);
+            }
+            out.reports.push(summary.report());
         }
-        let report = LatenessReport::from_trace(&result.trace, taus_s);
-        for (slot, lf) in out.late_playback.iter_mut().zip(&report.per_tau) {
-            slot.1.push(lf.playback_order);
-        }
-        for (slot, lf) in out.late_arrival.iter_mut().zip(&report.per_tau) {
-            slot.1.push(lf.arrival_order);
-        }
-        out.reports.push(report);
+        out
     }
-    out
+}
+
+/// Run `runs` independent replications (seeds `spec.seed + i`), evaluating
+/// the late fraction at each startup delay in `taus_s`. Serial; parallel
+/// callers should submit [`batch_jobs`] to a [`dmp_runner::Runner`] and
+/// reduce with [`BatchOutput::from_summaries`].
+pub fn run_batch(spec: &ExperimentSpec, runs: usize, taus_s: &[f64]) -> BatchOutput {
+    let summaries: Vec<RunSummary> = (0..runs)
+        .map(|i| {
+            let mut s = spec.clone();
+            s.seed = spec.seed.wrapping_add(i as u64);
+            run_summary(&s, taus_s)
+        })
+        .collect();
+    BatchOutput::from_summaries(taus_s, &summaries)
 }
 
 #[cfg(test)]
@@ -285,6 +416,52 @@ mod tests {
         let out = run(&quick_spec("corr-2", SchedulerKind::Dynamic, 23));
         assert!(out.trace.delivered() > 0);
         assert_eq!(out.paths.len(), 2);
+    }
+
+    #[test]
+    fn batch_jobs_match_serial_run_batch() {
+        let mut spec = quick_spec("2-2", SchedulerKind::Dynamic, 31);
+        spec.duration_s = 60.0;
+        let taus = [2.0, 6.0];
+        let serial = run_batch(&spec, 2, &taus);
+
+        let runner = dmp_runner::Runner::new(2, dmp_runner::Cache::disabled()).with_progress(false);
+        let cells = runner.run_all(batch_jobs(&spec, 2, &taus));
+        let summaries: Vec<RunSummary> = cells
+            .into_iter()
+            .map(|c| c.ok().expect("job should not fail").clone())
+            .collect();
+        let parallel = BatchOutput::from_summaries(&taus, &summaries);
+
+        for j in 0..2 {
+            assert_eq!(serial.loss[j].mean(), parallel.loss[j].mean());
+            assert_eq!(serial.share[j].mean(), parallel.share[j].mean());
+        }
+        for i in 0..taus.len() {
+            assert_eq!(
+                serial.late_playback[i].1.mean(),
+                parallel.late_playback[i].1.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn run_summary_json_roundtrip() {
+        let mut spec = quick_spec("2-2", SchedulerKind::Dynamic, 37);
+        spec.duration_s = 30.0;
+        let summary = run_summary(&spec, &[2.0, 6.0]);
+        let json = summary.to_json();
+        let back = RunSummary::from_json(&dmp_runner::json::parse(&json.render()).unwrap())
+            .expect("roundtrip");
+        assert_eq!(summary.paths.len(), back.paths.len());
+        for (a, b) in summary.paths.iter().zip(&back.paths) {
+            assert_eq!(a.loss, b.loss);
+            assert_eq!(a.share, b.share);
+        }
+        for (a, b) in summary.per_tau.iter().zip(&back.per_tau) {
+            assert_eq!(a.playback_order, b.playback_order);
+            assert_eq!(a.total, b.total);
+        }
     }
 
     #[test]

@@ -38,4 +38,7 @@ pub mod video;
 pub use configs::{
     config, setting, BottleneckConfig, Setting, CORRELATED, HETEROGENEOUS, HOMOGENEOUS, TABLE1,
 };
-pub use experiment::{run, run_batch, BatchOutput, ExperimentSpec, MeasuredPath, RunOutput};
+pub use experiment::{
+    batch_jobs, run, run_batch, run_summary, BatchOutput, ExperimentSpec, MeasuredPath, RunOutput,
+    RunSummary,
+};

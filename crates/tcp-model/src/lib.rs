@@ -34,5 +34,5 @@ pub mod stored;
 pub use chain::{Phase, TcpChain, TcpChainState};
 pub use dmp::{static_streaming_late_fraction, DmpModel, DmpSsa, LateFracEstimate};
 pub use exact::{ExactDmp, ExactLateFraction};
-pub use search::{evaluate_tau, required_startup_delay, SearchOptions, TauEval};
+pub use search::{evaluate_tau, required_startup_delay, SearchOptions, TauEval, TauSearchSpec};
 pub use stored::{stored_video_late_fraction, StoredVideoResult};

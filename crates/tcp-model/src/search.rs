@@ -9,6 +9,8 @@
 //! exhausted.
 
 use crate::dmp::{DmpModel, DmpSsa, LateFracEstimate};
+use dmp_core::spec::PathSpec;
+use dmp_runner::JobSpec;
 
 /// Tuning of the search.
 #[derive(Debug, Clone, Copy)]
@@ -113,6 +115,44 @@ pub fn required_startup_delay(
     Some(hi)
 }
 
+/// A self-contained, cacheable description of one required-startup-delay
+/// search: the path parameters, the video rate, and the search tuning. Where
+/// [`required_startup_delay`] takes an arbitrary closure, this fixes the
+/// model family to `DmpModel::new(paths, mu, τ)` — which covers every search
+/// in the reproduction — so the whole computation can be content-addressed.
+#[derive(Debug, Clone)]
+pub struct TauSearchSpec {
+    /// Per-path TCP parameters.
+    pub paths: Vec<PathSpec>,
+    /// Video consumption rate µ, packets per second.
+    pub mu: f64,
+    /// Search tuning (threshold, resolution, budget, seed).
+    pub opts: SearchOptions,
+}
+
+impl TauSearchSpec {
+    /// Execute the search.
+    pub fn run(&self) -> Option<f64> {
+        let paths = self.paths.clone();
+        let mu = self.mu;
+        required_startup_delay(move |tau| DmpModel::new(paths.clone(), mu, tau), &self.opts)
+    }
+
+    /// Stable textual representation for content-addressed caching; every
+    /// field that influences the result appears, and the version tag
+    /// invalidates old entries if search semantics change.
+    pub fn config_repr(&self) -> String {
+        format!("tcp-model-tau/v1/{self:?}")
+    }
+
+    /// Package the search as a cacheable runner job.
+    pub fn into_job(self, label: impl Into<String>) -> JobSpec<Option<f64>> {
+        let config_repr = self.config_repr();
+        let seed = self.opts.seed;
+        JobSpec::new(label, config_repr, seed, move || self.run())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +203,33 @@ mod tests {
             t_high <= t_low,
             "τ(σa/µ=2.0) = {t_high} should not exceed τ(σa/µ=1.4) = {t_low}"
         );
+    }
+
+    #[test]
+    fn tau_search_spec_matches_closure_search() {
+        let opts = quick_opts();
+        let rtt = pftk::rtt_for_ratio(0.02, 4.0, 2, 25.0, 1.8);
+        let spec = TauSearchSpec {
+            paths: vec![
+                PathSpec {
+                    loss: 0.02,
+                    rtt_s: rtt,
+                    to_ratio: 4.0
+                };
+                2
+            ],
+            mu: 25.0,
+            opts,
+        };
+        assert_eq!(
+            spec.run(),
+            required_startup_delay(model_family(1.8, 25.0), &opts)
+        );
+        // The repr must pin every input (τ-grid aside, which is the search's
+        // own business).
+        let repr = spec.config_repr();
+        assert!(repr.contains("tcp-model-tau/v1"));
+        assert!(repr.contains("25.0"));
     }
 
     #[test]

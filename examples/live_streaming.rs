@@ -11,8 +11,8 @@ use std::time::Duration;
 use mptcp_streaming::dmp_live::{run_experiment, LiveExperiment, PathProfile};
 use mptcp_streaming::prelude::*;
 
-#[tokio::main]
-async fn main() -> std::io::Result<()> {
+fn main() -> std::io::Result<()> {
+    tokio::runtime::Runtime::new().unwrap().block_on(async {
     // Two asymmetric "ADSL" paths: 700 kbps and 450 kbps, with fluctuating
     // service rate (±35%) — together ≈1.4× the video bitrate.
     let video = VideoSpec {
@@ -67,4 +67,5 @@ async fn main() -> std::io::Result<()> {
         println!("  τ = {:>4.1} s → {:>9.2e}", lf.tau_s, lf.playback_order);
     }
     Ok(())
+})
 }

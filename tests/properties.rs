@@ -1,14 +1,32 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants, spanning the crates.
+//! Randomized property tests on the core data structures and invariants,
+//! spanning the crates. Each property is exercised over many seeded-RNG
+//! cases, so failures are reproducible from the printed case seed.
 
 use dmp_core::metrics::{buffer_occupancy, late_fraction_arrival_order, late_fraction_playback};
 use dmp_core::scheme::{DynamicQueue, ReorderBuffer, StaticSplitter, StreamPacket};
 use dmp_core::spec::{PathSpec, VideoSpec};
 use dmp_core::stats::summarize;
 use dmp_core::trace::StreamTrace;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
 use tcp_model::chain::TcpChain;
 use tcp_model::pftk;
+
+const CASES: u64 = 64;
+
+/// One RNG per case, derived from the property name and case index, so any
+/// failure is reproducible in isolation.
+fn case_rng(property: &str, case: u64) -> SmallRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in property.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h ^ case)
+}
+
+fn usize_in(rng: &mut SmallRng, lo: usize, hi: usize) -> usize {
+    lo + (rng.next_u64() as usize) % (hi - lo)
+}
 
 fn pkt(seq: u64) -> StreamPacket {
     StreamPacket {
@@ -17,15 +35,18 @@ fn pkt(seq: u64) -> StreamPacket {
     }
 }
 
-proptest! {
-    /// The reorder buffer releases exactly the inserted set, in order,
-    /// regardless of arrival permutation, and counts every duplicate.
-    #[test]
-    fn reorder_buffer_is_a_sorting_network(mut order in proptest::collection::vec(0u64..64, 1..200)) {
-        let mut rb = ReorderBuffer::new();
+/// The reorder buffer releases exactly the inserted set, in order,
+/// regardless of arrival permutation, and counts every duplicate.
+#[test]
+fn reorder_buffer_is_a_sorting_network() {
+    for case in 0..CASES {
+        let mut rng = case_rng("reorder_buffer", case);
+        let len = usize_in(&mut rng, 1, 200);
+        let mut order: Vec<u64> = (0..len).map(|_| rng.next_u64() % 64).collect();
         let unique: std::collections::BTreeSet<u64> = order.iter().copied().collect();
         let dups = order.len() - unique.len();
         order.sort_by_key(|&s| s.wrapping_mul(0x9e3779b97f4a7c15)); // deterministic shuffle
+        let mut rb = ReorderBuffer::new();
         let mut released = Vec::new();
         for s in &order {
             rb.insert(pkt(*s));
@@ -36,54 +57,79 @@ proptest! {
         // Released = the maximal contiguous prefix of `unique` starting at 0.
         let mut expect = Vec::new();
         for (i, &s) in unique.iter().enumerate() {
-            if s == i as u64 { expect.push(s) } else { break }
+            if s == i as u64 {
+                expect.push(s)
+            } else {
+                break;
+            }
         }
-        prop_assert_eq!(released, expect);
-        prop_assert_eq!(rb.duplicates(), dups as u64);
+        assert_eq!(released, expect, "case {case}");
+        assert_eq!(rb.duplicates(), dups as u64, "case {case}");
     }
+}
 
-    /// The static splitter conserves packets and respects weights within
-    /// one packet of the ideal split.
-    #[test]
-    fn splitter_conserves_and_balances(w1 in 1u32..20, w2 in 1u32..20, n in 1u64..2000) {
+/// The static splitter conserves packets and respects weights within one
+/// packet of the ideal split.
+#[test]
+fn splitter_conserves_and_balances() {
+    for case in 0..CASES {
+        let mut rng = case_rng("splitter", case);
+        let w1 = 1 + rng.next_u32() % 19;
+        let w2 = 1 + rng.next_u32() % 19;
+        let n = 1 + rng.next_u64() % 1999;
         let mut s = StaticSplitter::new(&[f64::from(w1), f64::from(w2)]);
         for i in 0..n {
             s.push(pkt(i));
         }
-        prop_assert_eq!(s.assigned(0) + s.assigned(1), n);
+        assert_eq!(s.assigned(0) + s.assigned(1), n, "case {case}");
         let ideal0 = n as f64 * f64::from(w1) / f64::from(w1 + w2);
-        prop_assert!((s.assigned(0) as f64 - ideal0).abs() <= 1.0 + 1e-9);
+        assert!(
+            (s.assigned(0) as f64 - ideal0).abs() <= 1.0 + 1e-9,
+            "case {case}"
+        );
         // Pulling everything returns each packet exactly once.
         let got = s.pull(0, usize::MAX).len() + s.pull(1, usize::MAX).len();
-        prop_assert_eq!(got as u64, n);
+        assert_eq!(got as u64, n, "case {case}");
     }
+}
 
-    /// The dynamic queue is strictly FIFO under arbitrary interleavings of
-    /// pushes and pulls.
-    #[test]
-    fn dynamic_queue_fifo(ops in proptest::collection::vec((0usize..8, any::<bool>()), 1..300)) {
+/// The dynamic queue is strictly FIFO under arbitrary interleavings of
+/// pushes and pulls.
+#[test]
+fn dynamic_queue_fifo() {
+    for case in 0..CASES {
+        let mut rng = case_rng("dynamic_queue", case);
+        let ops = usize_in(&mut rng, 1, 300);
         let mut q = DynamicQueue::new();
         let mut next_push = 0u64;
         let mut next_pop = 0u64;
-        for (amount, is_push) in ops {
-            if is_push {
+        for _ in 0..ops {
+            let amount = usize_in(&mut rng, 0, 8);
+            if rng.gen_bool(0.5) {
                 q.push(pkt(next_push));
                 next_push += 1;
             } else {
                 for p in q.pull(amount) {
-                    prop_assert_eq!(p.seq, next_pop);
+                    assert_eq!(p.seq, next_pop, "case {case}");
                     next_pop += 1;
                 }
             }
         }
-        prop_assert_eq!(q.total_generated(), next_push);
-        prop_assert_eq!(next_push - next_pop, q.len() as u64);
+        assert_eq!(q.total_generated(), next_push, "case {case}");
+        assert_eq!(next_push - next_pop, q.len() as u64, "case {case}");
     }
+}
 
-    /// Late fractions are in [0,1] and monotone non-increasing in τ for any
-    /// delivery pattern.
-    #[test]
-    fn lateness_bounds_and_monotonicity(delays in proptest::collection::vec(proptest::option::of(0u64..5_000), 5..150)) {
+/// Late fractions are in [0,1] and monotone non-increasing in τ for any
+/// delivery pattern.
+#[test]
+fn lateness_bounds_and_monotonicity() {
+    for case in 0..CASES {
+        let mut rng = case_rng("lateness", case);
+        let n = usize_in(&mut rng, 5, 150);
+        let delays: Vec<Option<u64>> = (0..n)
+            .map(|_| rng.gen_bool(0.8).then(|| rng.next_u64() % 5_000))
+            .collect();
         let mu = 20.0;
         let mut trace = StreamTrace::new(VideoSpec::new(mu), u64::MAX);
         for (i, d) in delays.iter().enumerate() {
@@ -96,74 +142,121 @@ proptest! {
         let mut prev = f64::INFINITY;
         for tau in [0.1, 0.5, 1.0, 2.0, 5.0] {
             let f = late_fraction_playback(trace.records(), tau);
-            prop_assert!((0.0..=1.0).contains(&f));
-            prop_assert!(f <= prev + 1e-12);
+            assert!((0.0..=1.0).contains(&f), "case {case}");
+            assert!(f <= prev + 1e-12, "case {case}");
             prev = f;
             let fa = late_fraction_arrival_order(trace.records(), mu, tau);
-            prop_assert!((0.0..=1.0).contains(&fa));
+            assert!((0.0..=1.0).contains(&fa), "case {case}");
         }
     }
+}
 
-    /// Live-streaming invariant (paper §2.1): the client buffer never holds
-    /// more than µτ packets, for any delivery pattern.
-    #[test]
-    fn buffer_occupancy_respects_mu_tau(delays in proptest::collection::vec(0u64..10_000, 5..150), tau_ds in 1u64..80) {
+/// Live-streaming invariant (paper §2.1): the client buffer never holds
+/// more than µτ packets, for any delivery pattern.
+#[test]
+fn buffer_occupancy_respects_mu_tau() {
+    for case in 0..CASES {
+        let mut rng = case_rng("occupancy", case);
+        let n = usize_in(&mut rng, 5, 150);
+        let tau = (1 + rng.next_u64() % 79) as f64 / 10.0;
         let mu = 20.0;
-        let tau = tau_ds as f64 / 10.0;
         let mut trace = StreamTrace::new(VideoSpec::new(mu), u64::MAX);
-        for (i, d) in delays.iter().enumerate() {
+        for i in 0..n {
             let gen = i as u64 * 50_000_000;
+            let d = rng.next_u64() % 10_000;
             trace.on_generated(i as u64, gen);
             trace.on_arrival(i as u64, gen + d * 1_000_000, 0);
         }
         let occ = buffer_occupancy(trace.records(), tau);
         let cap = (mu * tau).ceil() as u64 + 1;
-        prop_assert!(occ.peak_pkts <= cap, "peak {} > µτ {}", occ.peak_pkts, cap);
-        prop_assert!(occ.mean_pkts <= occ.peak_pkts as f64 + 1e-9);
+        assert!(
+            occ.peak_pkts <= cap,
+            "case {case}: peak {} > µτ {}",
+            occ.peak_pkts,
+            cap
+        );
+        assert!(occ.mean_pkts <= occ.peak_pkts as f64 + 1e-9, "case {case}");
     }
+}
 
-    /// PFTK throughput is monotone decreasing in loss, RTT, and timeout.
-    #[test]
-    fn pftk_is_monotone(p in 0.001f64..0.2, r in 0.02f64..0.5, to in 1.0f64..4.0) {
-        let base = pftk::throughput_pps(&PathSpec { loss: p, rtt_s: r, to_ratio: to });
-        prop_assert!(base > 0.0);
-        let worse_p = pftk::throughput_pps(&PathSpec { loss: (p * 1.5).min(0.9), rtt_s: r, to_ratio: to });
-        let worse_r = pftk::throughput_pps(&PathSpec { loss: p, rtt_s: r * 1.5, to_ratio: to });
-        let worse_to = pftk::throughput_pps(&PathSpec { loss: p, rtt_s: r, to_ratio: to + 1.0 });
-        prop_assert!(worse_p < base);
-        prop_assert!(worse_r < base);
-        prop_assert!(worse_to <= base + 1e-12);
+/// PFTK throughput is monotone decreasing in loss, RTT, and timeout.
+#[test]
+fn pftk_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = case_rng("pftk", case);
+        let p = rng.gen_range(0.001f64..0.2);
+        let r = rng.gen_range(0.02f64..0.5);
+        let to = rng.gen_range(1.0f64..4.0);
+        let base = pftk::throughput_pps(&PathSpec {
+            loss: p,
+            rtt_s: r,
+            to_ratio: to,
+        });
+        assert!(base > 0.0, "case {case}");
+        let worse_p = pftk::throughput_pps(&PathSpec {
+            loss: (p * 1.5).min(0.9),
+            rtt_s: r,
+            to_ratio: to,
+        });
+        let worse_r = pftk::throughput_pps(&PathSpec {
+            loss: p,
+            rtt_s: r * 1.5,
+            to_ratio: to,
+        });
+        let worse_to = pftk::throughput_pps(&PathSpec {
+            loss: p,
+            rtt_s: r,
+            to_ratio: to + 1.0,
+        });
+        assert!(worse_p < base, "case {case}");
+        assert!(worse_r < base, "case {case}");
+        assert!(worse_to <= base + 1e-12, "case {case}");
     }
+}
 
-    /// The TCP chain's state stays within bounds and its outcome
-    /// distributions are proper for arbitrary loss rates.
-    #[test]
-    fn chain_state_invariants(p in 0.001f64..0.5, steps in 100usize..2000, seed in any::<u64>()) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+/// The TCP chain's state stays within bounds and its outcome distributions
+/// are proper for arbitrary loss rates.
+#[test]
+fn chain_state_invariants() {
+    for case in 0..32 {
+        let mut rng = case_rng("chain", case);
+        let p = rng.gen_range(0.001f64..0.5);
+        let steps = usize_in(&mut rng, 100, 2000);
+        let mut step_rng = SmallRng::seed_from_u64(rng.next_u64());
         let wmax = 16;
         let mut chain = TcpChain::new(PathSpec::from_ms(p, 120.0, 2.5), wmax);
         for _ in 0..steps {
             let st = chain.state();
-            prop_assert!(st.w >= 1 && st.w <= wmax);
-            prop_assert!(st.ssthresh >= 2 && st.ssthresh <= wmax);
-            prop_assert!(st.stage < TcpChain::STAGES);
+            assert!(st.w >= 1 && st.w <= wmax, "case {case}");
+            assert!(st.ssthresh >= 2 && st.ssthresh <= wmax, "case {case}");
+            assert!(st.stage < TcpChain::STAGES, "case {case}");
             let total: f64 = chain.outcomes(st).iter().map(|&(_, pr, _)| pr).sum();
-            prop_assert!((total - 1.0).abs() < 1e-9);
-            let t = chain.step(&mut rng);
-            prop_assert!(t.delivered <= st.w.max(1));
-            prop_assert!(chain.rate() > 0.0);
+            assert!((total - 1.0).abs() < 1e-9, "case {case}");
+            let t = chain.step(&mut step_rng);
+            assert!(t.delivered <= st.w.max(1), "case {case}");
+            assert!(chain.rate() > 0.0, "case {case}");
         }
     }
+}
 
-    /// Welford statistics agree with naive formulas.
-    #[test]
-    fn stats_match_naive(xs in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+/// Welford statistics agree with naive formulas.
+#[test]
+fn stats_match_naive() {
+    for case in 0..CASES {
+        let mut rng = case_rng("stats", case);
+        let n = usize_in(&mut rng, 2, 100);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e6f64..1e6)).collect();
         let s = summarize(&xs);
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((s.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
+        assert!(
+            (s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()),
+            "case {case}"
+        );
+        assert!(
+            (s.variance() - var).abs() < 1e-5 * (1.0 + var.abs()),
+            "case {case}"
+        );
     }
 }

@@ -71,15 +71,14 @@ fn out_of_order_effect_is_negligible_in_sim() {
     // back in arrival order gives (nearly) the same late fraction.
     let taus = [3.0, 6.0];
     let b = batch("1-2", SchedulerKind::Dynamic, &taus);
-    for i in 0..taus.len() {
+    for (i, tau) in taus.iter().enumerate() {
         let fp = b.late_playback[i].1.mean();
         let fa = b.late_arrival[i].1.mean();
         if fp > 1e-3 {
             let ratio = fa / fp;
             assert!(
                 (0.3..=1.5).contains(&ratio),
-                "τ={}: arrival-order {fa:.2e} vs playback-order {fp:.2e}",
-                taus[i]
+                "τ={tau}: arrival-order {fa:.2e} vs playback-order {fp:.2e}"
             );
         }
     }

@@ -1,0 +1,255 @@
+//! Minimal offline stand-in for the subset of the `bytes` crate this
+//! workspace uses: [`BytesMut`] as a growable byte buffer with cheap front
+//! consumption, plus the [`Buf`]/[`BufMut`] accessor traits (big-endian, as
+//! upstream).
+
+use std::ops::{Deref, DerefMut};
+
+/// Read-side accessors over a byte buffer (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// The readable bytes.
+    fn chunk(&self) -> &[u8];
+    /// Discard the first `cnt` readable bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Read a big-endian `u32` and advance.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u64` and advance.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(b)
+    }
+
+    /// Read one byte and advance.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+}
+
+/// Write-side accessors over a byte buffer (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.put_slice(&vec![val; cnt]);
+    }
+}
+
+/// Growable byte buffer with an amortised-O(1) consumed front.
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    /// Index of the first unconsumed byte in `buf`.
+    head: usize,
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({:?})", &self[..])
+    }
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+            head: 0,
+        }
+    }
+
+    /// Number of readable bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// Whether no readable bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ensure room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.compact();
+        self.buf.reserve(additional);
+    }
+
+    /// Drop all content.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.compact_if_large();
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Split off and return the first `at` readable bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let front = self[..at].to_vec();
+        self.head += at;
+        BytesMut {
+            buf: front,
+            head: 0,
+        }
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(mut self) -> Bytes {
+        self.compact();
+        Bytes(self.buf)
+    }
+
+    fn compact(&mut self) {
+        if self.head > 0 {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+    }
+
+    fn compact_if_large(&mut self) {
+        // Reclaim consumed space once it dominates the allocation.
+        if self.head > 4096 && self.head > self.buf.len() / 2 {
+            self.compact();
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.head..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[self.head..]
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.head += cnt;
+        self.compact_if_large();
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Immutable byte container (subset of `bytes::Bytes`).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut b = BytesMut::new();
+        b.put_u32(0xdead_beef);
+        b.put_u64(42);
+        b.put_bytes(7, 3);
+        assert_eq!(b.len(), 15);
+        assert_eq!(b.get_u32(), 0xdead_beef);
+        assert_eq!(b.get_u64(), 42);
+        assert_eq!(&b[..], &[7, 7, 7]);
+        b.advance(3);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn split_and_freeze() {
+        let mut b = BytesMut::with_capacity(8);
+        b.extend_from_slice(&[1, 2, 3, 4, 5]);
+        let front = b.split_to(2);
+        assert_eq!(&front[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], &[3, 4, 5]);
+        assert_eq!(frozen.len(), 3);
+    }
+
+    #[test]
+    fn interleaved_consume_and_append() {
+        let mut b = BytesMut::new();
+        for round in 0u8..100 {
+            b.extend_from_slice(&[round; 64]);
+            if b.len() >= 48 {
+                b.advance(48);
+            }
+        }
+        // Only length/ordering matter; exercise the compaction paths.
+        assert!(b.len() < 64 * 100);
+    }
+}

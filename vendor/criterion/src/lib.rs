@@ -1,0 +1,128 @@
+//! Minimal offline stand-in for the subset of `criterion` this workspace
+//! uses: [`Criterion::bench_function`] with [`Bencher::iter`], plus the
+//! `criterion_group!`/`criterion_main!` macros. Reports mean wall-clock per
+//! iteration on stdout; no statistical analysis or HTML reports.
+
+use std::time::Instant;
+
+/// Prevent the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run `routine` with a [`Bencher`] and print per-iteration timing.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            iterations: 0,
+            total: std::time::Duration::ZERO,
+        };
+        routine(&mut bencher);
+        if bencher.iterations > 0 {
+            let per_iter = bencher.total / bencher.iterations as u32;
+            println!(
+                "bench {id}: {per_iter:?}/iter over {} iterations",
+                bencher.iterations
+            );
+        } else {
+            println!("bench {id}: no iterations recorded");
+        }
+        self
+    }
+
+    /// Finalise (no-op; exists for API compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Timing harness passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    iterations: u64,
+    total: std::time::Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = routine();
+            self.total += start.elapsed();
+            self.iterations += 1;
+            black_box(out);
+        }
+    }
+}
+
+/// Define a benchmark group function (subset of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary entry point (subset of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert_eq!(calls, 3);
+    }
+}

@@ -1,0 +1,61 @@
+//! `AsyncReadExt`/`AsyncWriteExt` traits backed by blocking I/O.
+//!
+//! Each method performs the blocking `std::io` call inside its `async fn`
+//! body; because every task runs on its own thread, a blocked read only
+//! stalls its own task.
+
+use std::io::{self, Read, Write};
+
+/// Read-side async extension methods (subset of `tokio::io::AsyncReadExt`).
+#[allow(async_fn_in_trait)]
+pub trait AsyncReadExt {
+    /// Read up to `buf.len()` bytes; `Ok(0)` signals EOF.
+    async fn read(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// Read exactly `buf.len()` bytes or fail with `UnexpectedEof`.
+    async fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+}
+
+/// Write-side async extension methods (subset of `tokio::io::AsyncWriteExt`).
+#[allow(async_fn_in_trait)]
+pub trait AsyncWriteExt {
+    /// Write the whole buffer.
+    async fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+
+    /// Flush buffered data.
+    async fn flush(&mut self) -> io::Result<()>;
+
+    /// Gracefully shut down the write side.
+    async fn shutdown(&mut self) -> io::Result<()>;
+}
+
+impl AsyncReadExt for crate::net::TcpStream {
+    async fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+
+    async fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read_exact(buf)?;
+        Ok(buf.len())
+    }
+}
+
+impl AsyncWriteExt for crate::net::TcpStream {
+    async fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.inner.write_all(buf)
+    }
+
+    async fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    async fn shutdown(&mut self) -> io::Result<()> {
+        match self.inner.shutdown(std::net::Shutdown::Write) {
+            Ok(()) => Ok(()),
+            // Peer already gone: treat like tokio, which surfaces NotConnected
+            // only from the syscall; callers here ignore shutdown errors.
+            Err(e) if e.kind() == io::ErrorKind::NotConnected => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Minimal offline stand-in for the subset of tokio this workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! same *interface* with a deliberately simple execution model:
+//!
+//! * [`runtime::Runtime::block_on`] drives a future on the current thread
+//!   with a park/unpark waker;
+//! * [`spawn`] runs each task on its **own OS thread** (thread-per-task), so
+//!   futures that block inside `poll` — all socket and channel operations
+//!   here are plain blocking calls — still make progress concurrently;
+//! * [`net`] wraps `std::net` blocking sockets in `async fn` clothing;
+//! * [`time::timeout`] supports waker-driven futures (e.g. [`task::JoinHandle`])
+//!   via a one-shot timer thread.
+//!
+//! This model is correct for the streaming code in `dmp-live`, which never
+//! multiplexes blocking I/O futures inside a single task. It is **not** a
+//! general tokio replacement.
+
+pub mod runtime;
+pub mod task;
+
+pub use task::spawn;
+
+pub mod io;
+pub mod net;
+pub mod sync;
+pub mod time;
+
+#[cfg(test)]
+mod tests {
+    use crate::io::{AsyncReadExt, AsyncWriteExt};
+    use std::time::Duration;
+
+    #[test]
+    fn block_on_runs_simple_future() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        assert_eq!(rt.block_on(async { 2 + 2 }), 4);
+    }
+
+    #[test]
+    fn spawned_tasks_run_concurrently_and_join() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        let total = rt.block_on(async {
+            let handles: Vec<_> = (0..8u64)
+                .map(|i| crate::spawn(async move { i * i }))
+                .collect();
+            let mut total = 0;
+            for h in handles {
+                total += h.await.unwrap();
+            }
+            total
+        });
+        assert_eq!(total, (0..8u64).map(|i| i * i).sum());
+    }
+
+    #[test]
+    fn timeout_elapses_on_stuck_task() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let h = crate::spawn(async {
+                std::thread::sleep(Duration::from_secs(5));
+            });
+            let r = crate::time::timeout(Duration::from_millis(50), h).await;
+            assert!(r.is_err(), "timeout should elapse");
+        });
+    }
+
+    #[test]
+    fn tcp_echo_end_to_end() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let listener = crate::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = crate::spawn(async move {
+                let (mut sock, _) = listener.accept().await.unwrap();
+                let mut buf = [0u8; 5];
+                sock.read_exact(&mut buf).await.unwrap();
+                sock.write_all(&buf).await.unwrap();
+            });
+            let mut client = crate::net::TcpStream::connect(addr).await.unwrap();
+            client.write_all(b"hello").await.unwrap();
+            let mut back = [0u8; 5];
+            client.read_exact(&mut back).await.unwrap();
+            assert_eq!(&back, b"hello");
+            server.await.unwrap();
+        });
+    }
+
+    #[test]
+    fn mpsc_backpressure_and_close() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let (tx, mut rx) = crate::sync::mpsc::channel::<u64>(2);
+            let producer = crate::spawn(async move {
+                for i in 0..100 {
+                    tx.send(i).await.unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            producer.await.unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn notify_wakes_waiter() {
+        use std::sync::Arc;
+        let rt = crate::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let n = Arc::new(crate::sync::Notify::new());
+            let n2 = Arc::clone(&n);
+            let waiter = crate::spawn(async move {
+                n2.notified().await;
+                7u32
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            n.notify_waiters();
+            assert_eq!(waiter.await.unwrap(), 7);
+        });
+    }
+
+    #[test]
+    fn send_buffer_size_socket_connects() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let listener = crate::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let acceptor = crate::spawn(async move { listener.accept().await.map(|_| ()) });
+            let sock = crate::net::TcpSocket::new_v4().unwrap();
+            sock.set_send_buffer_size(16 * 1024).unwrap();
+            let mut s = sock.connect(addr).await.unwrap();
+            s.write_all(b"x").await.unwrap();
+            acceptor.await.unwrap().unwrap();
+        });
+    }
+}

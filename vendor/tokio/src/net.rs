@@ -1,0 +1,275 @@
+//! Async-signature wrappers over `std::net` blocking sockets.
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+
+/// TCP listener (subset of `tokio::net::TcpListener`).
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Bind to `addr`.
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Ok(Self {
+            inner: std::net::TcpListener::bind(addr)?,
+        })
+    }
+
+    /// Accept one connection (blocks the calling task's thread).
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        let (stream, peer) = self.inner.accept()?;
+        Ok((TcpStream { inner: stream }, peer))
+    }
+
+    /// Local address the listener is bound to.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+/// TCP stream (subset of `tokio::net::TcpStream`). I/O methods live on the
+/// [`crate::io::AsyncReadExt`]/[`crate::io::AsyncWriteExt`] traits.
+#[derive(Debug)]
+pub struct TcpStream {
+    pub(crate) inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    /// Connect to `addr`.
+    pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Ok(Self {
+            inner: std::net::TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Enable/disable Nagle's algorithm.
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    /// Peer address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// Local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+/// Unconnected IPv4 TCP socket that can set options (`SO_SNDBUF`) before
+/// connecting. Implemented with direct libc syscalls on Unix because
+/// `std::net` exposes no `setsockopt`.
+#[derive(Debug)]
+pub struct TcpSocket {
+    #[cfg(unix)]
+    fd: std::os::fd::RawFd,
+    #[cfg(not(unix))]
+    send_buffer_size: std::cell::Cell<Option<u32>>,
+    #[cfg(not(unix))]
+    bind_addr: std::cell::Cell<Option<SocketAddr>>,
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::os::fd::RawFd;
+
+    pub const AF_INET: i32 = 2;
+    pub const SOCK_STREAM: i32 = 1;
+    // Linux values; this workspace only targets Linux.
+    pub const SOL_SOCKET: i32 = 1;
+    pub const SO_SNDBUF: i32 = 7;
+    pub const SO_RCVBUF: i32 = 8;
+    pub const SO_REUSEADDR: i32 = 2;
+
+    /// `struct sockaddr_in` — fields stored in network byte order.
+    #[repr(C)]
+    pub struct SockaddrIn {
+        pub sin_family: u16,
+        pub sin_port: u16,
+        pub sin_addr: u32,
+        pub sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        pub fn socket(domain: i32, ty: i32, protocol: i32) -> RawFd;
+        pub fn setsockopt(
+            fd: RawFd,
+            level: i32,
+            optname: i32,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+        pub fn connect(fd: RawFd, addr: *const SockaddrIn, len: u32) -> i32;
+        pub fn bind(fd: RawFd, addr: *const SockaddrIn, len: u32) -> i32;
+        pub fn listen(fd: RawFd, backlog: i32) -> i32;
+        pub fn close(fd: RawFd) -> i32;
+    }
+}
+
+#[cfg(unix)]
+impl TcpSocket {
+    /// Create a new IPv4 socket.
+    pub fn new_v4() -> io::Result<Self> {
+        let fd = unsafe { sys::socket(sys::AF_INET, sys::SOCK_STREAM, 0) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { fd })
+    }
+
+    fn set_opt_i32(&self, optname: i32, val: i32) -> io::Result<()> {
+        let rc = unsafe {
+            sys::setsockopt(
+                self.fd,
+                sys::SOL_SOCKET,
+                optname,
+                &val as *const i32 as *const core::ffi::c_void,
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Set `SO_SNDBUF` before connecting.
+    pub fn set_send_buffer_size(&self, size: u32) -> io::Result<()> {
+        self.set_opt_i32(sys::SO_SNDBUF, size as i32)
+    }
+
+    /// Set `SO_RCVBUF` before connecting or listening (listeners pass the
+    /// value on to accepted connections).
+    pub fn set_recv_buffer_size(&self, size: u32) -> io::Result<()> {
+        self.set_opt_i32(sys::SO_RCVBUF, size as i32)
+    }
+
+    /// Allow rebinding a recently used local address.
+    pub fn set_reuseaddr(&self, reuse: bool) -> io::Result<()> {
+        self.set_opt_i32(sys::SO_REUSEADDR, i32::from(reuse))
+    }
+
+    fn sockaddr_of(&self, addr: SocketAddr) -> io::Result<sys::SockaddrIn> {
+        let SocketAddr::V4(v4) = addr else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "TcpSocket::new_v4 cannot use an IPv6 address",
+            ));
+        };
+        Ok(sys::SockaddrIn {
+            sin_family: sys::AF_INET as u16,
+            sin_port: v4.port().to_be(),
+            // Octets are already network-ordered; keep their memory layout.
+            sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+            sin_zero: [0u8; 8],
+        })
+    }
+
+    /// Bind the socket to a local address (port 0 = ephemeral).
+    pub fn bind(&self, addr: SocketAddr) -> io::Result<()> {
+        let sockaddr = self.sockaddr_of(addr)?;
+        let rc = unsafe {
+            sys::bind(
+                self.fd,
+                &sockaddr,
+                std::mem::size_of::<sys::SockaddrIn>() as u32,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Start listening, consuming the socket. Options set beforehand
+    /// (e.g. `SO_RCVBUF`) are inherited by accepted connections.
+    pub fn listen(self, backlog: u32) -> io::Result<TcpListener> {
+        use std::os::fd::FromRawFd;
+        let rc = unsafe { sys::listen(self.fd, backlog.min(i32::MAX as u32) as i32) };
+        if rc != 0 {
+            let err = io::Error::last_os_error();
+            unsafe { sys::close(self.fd) };
+            return Err(err);
+        }
+        let inner = unsafe { std::net::TcpListener::from_raw_fd(self.fd) };
+        Ok(TcpListener { inner })
+    }
+
+    /// Connect to `addr`, consuming the socket.
+    pub async fn connect(self, addr: SocketAddr) -> io::Result<TcpStream> {
+        use std::os::fd::FromRawFd;
+        let sockaddr = match self.sockaddr_of(addr) {
+            Ok(sa) => sa,
+            Err(e) => {
+                unsafe { sys::close(self.fd) };
+                return Err(e);
+            }
+        };
+        let rc = unsafe {
+            sys::connect(
+                self.fd,
+                &sockaddr,
+                std::mem::size_of::<sys::SockaddrIn>() as u32,
+            )
+        };
+        if rc != 0 {
+            let err = io::Error::last_os_error();
+            unsafe { sys::close(self.fd) };
+            return Err(err);
+        }
+        let inner = unsafe { std::net::TcpStream::from_raw_fd(self.fd) };
+        Ok(TcpStream { inner })
+    }
+}
+
+#[cfg(not(unix))]
+impl TcpSocket {
+    /// Create a new IPv4 socket (option-less fallback).
+    pub fn new_v4() -> io::Result<Self> {
+        Ok(Self {
+            send_buffer_size: std::cell::Cell::new(None),
+            bind_addr: std::cell::Cell::new(None),
+        })
+    }
+
+    /// Recorded but not applied on non-Unix fallback.
+    pub fn set_send_buffer_size(&self, size: u32) -> io::Result<()> {
+        self.send_buffer_size.set(Some(size));
+        Ok(())
+    }
+
+    /// Recorded but not applied on non-Unix fallback.
+    pub fn set_recv_buffer_size(&self, _size: u32) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Recorded but not applied on non-Unix fallback.
+    pub fn set_reuseaddr(&self, _reuse: bool) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Remember the bind address for `listen`.
+    pub fn bind(&self, addr: SocketAddr) -> io::Result<()> {
+        self.bind_addr.set(Some(addr));
+        Ok(())
+    }
+
+    /// Start listening at the previously bound address.
+    pub fn listen(self, _backlog: u32) -> io::Result<TcpListener> {
+        let addr = self.bind_addr.get().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "TcpSocket::listen before bind")
+        })?;
+        Ok(TcpListener {
+            inner: std::net::TcpListener::bind(addr)?,
+        })
+    }
+
+    /// Connect to `addr`, consuming the socket.
+    pub async fn connect(self, addr: SocketAddr) -> io::Result<TcpStream> {
+        TcpStream::connect(addr).await
+    }
+}

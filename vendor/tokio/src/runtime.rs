@@ -1,0 +1,67 @@
+//! Current-thread `block_on` executor with a park/unpark waker.
+
+use std::future::Future;
+use std::pin::pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+/// Waker that unparks a captured thread; `notified` absorbs wakes that land
+/// between a `Pending` poll result and the corresponding park.
+struct ThreadWaker {
+    thread: Thread,
+    notified: AtomicBool,
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.notified.store(true, Ordering::SeqCst);
+        self.thread.unpark();
+    }
+}
+
+/// Drive `future` to completion on the current thread.
+pub(crate) fn block_on<F: Future>(future: F) -> F::Output {
+    let mut future = pin!(future);
+    let waker_state = Arc::new(ThreadWaker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(Arc::clone(&waker_state));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => {
+                while !waker_state.notified.swap(false, Ordering::SeqCst) {
+                    std::thread::park();
+                }
+            }
+        }
+    }
+}
+
+/// Handle to the (trivial) runtime. Tasks are thread-per-task, so the
+/// runtime itself holds no state; it exists for API compatibility.
+#[derive(Debug)]
+pub struct Runtime {
+    _priv: (),
+}
+
+impl Runtime {
+    /// Create a runtime. Never fails in this stand-in; the `Result` mirrors
+    /// tokio's signature.
+    pub fn new() -> std::io::Result<Self> {
+        Ok(Self { _priv: () })
+    }
+
+    /// Run a future to completion on the calling thread.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        block_on(future)
+    }
+}

@@ -1,0 +1,215 @@
+//! Synchronisation primitives: [`Notify`] and bounded [`mpsc`] channels,
+//! both condvar-backed (blocking waits are safe under thread-per-task).
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Notify a set of waiting tasks (subset of `tokio::sync::Notify`).
+///
+/// `notified().await` may complete spuriously (waits are chunked with a
+/// condvar timeout to guarantee liveness across the create/notify race);
+/// callers follow the usual pattern of re-checking their condition in a
+/// loop, which all users in this workspace do.
+#[derive(Debug, Default)]
+pub struct Notify {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Notify {
+    /// New notifier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Future completing at the next notification (or spuriously).
+    pub fn notified(&self) -> Notified<'_> {
+        Notified {
+            notify: self,
+            start_epoch: *self.epoch.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Wake all current waiters.
+    pub fn notify_waiters(&self) {
+        let mut epoch = self.epoch.lock().unwrap_or_else(|e| e.into_inner());
+        *epoch += 1;
+        self.cv.notify_all();
+    }
+
+    /// Wake one waiter (same as `notify_waiters` in this stand-in).
+    pub fn notify_one(&self) {
+        self.notify_waiters();
+    }
+}
+
+/// Future returned by [`Notify::notified`].
+pub struct Notified<'a> {
+    notify: &'a Notify,
+    start_epoch: u64,
+}
+
+impl std::future::Future for Notified<'_> {
+    type Output = ();
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        _cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<()> {
+        let guard = self.notify.epoch.lock().unwrap_or_else(|e| e.into_inner());
+        if *guard != self.start_epoch {
+            return std::task::Poll::Ready(());
+        }
+        // Bounded wait, then complete (possibly spuriously): guarantees
+        // liveness even if a notification landed between `notified()` and
+        // this poll.
+        let _ = self
+            .notify
+            .cv
+            .wait_timeout(guard, Duration::from_millis(50))
+            .unwrap_or_else(|e| e.into_inner());
+        std::task::Poll::Ready(())
+    }
+}
+
+/// Bounded multi-producer single-consumer channel.
+pub mod mpsc {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Channel error types.
+    pub mod error {
+        /// The receiver was dropped; the unsent value is returned.
+        #[derive(Debug)]
+        pub struct SendError<T>(pub T);
+
+        impl<T> std::fmt::Display for SendError<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "channel closed")
+            }
+        }
+
+        impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+    }
+
+    pub use error::SendError;
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        capacity: usize,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    struct Chan<T> {
+        inner: Mutex<Inner<T>>,
+        not_full: Condvar,
+        not_empty: Condvar,
+    }
+
+    /// Create a bounded channel with room for `buffer` queued values.
+    pub fn channel<T>(buffer: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(buffer > 0, "mpsc bounded channel requires buffer > 0");
+        let chan = Arc::new(Chan {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                capacity: buffer,
+                senders: 1,
+                receiver_alive: true,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// Sending half.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`, waiting for capacity; fails if the receiver is gone.
+        pub async fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.chan.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if !inner.receiver_alive {
+                    return Err(SendError(value));
+                }
+                if inner.queue.len() < inner.capacity {
+                    inner.queue.push_back(value);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                inner = self
+                    .chan
+                    .not_full
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
+            Self {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.chan.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive the next value; `None` once all senders are dropped and
+        /// the queue is drained.
+        pub async fn recv(&mut self) -> Option<T> {
+            let mut inner = self.chan.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    self.chan.not_full.notify_one();
+                    return Some(v);
+                }
+                if inner.senders == 0 {
+                    return None;
+                }
+                inner = self
+                    .chan
+                    .not_empty
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.chan.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.receiver_alive = false;
+            self.chan.not_full.notify_all();
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Thread-per-task `spawn` with a waker-driven [`JoinHandle`].
+
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Why a task's result is unavailable.
+#[derive(Debug)]
+pub struct JoinError {
+    panic_msg: Option<String>,
+    cancelled: bool,
+}
+
+impl JoinError {
+    /// True if the task panicked.
+    pub fn is_panic(&self) -> bool {
+        self.panic_msg.is_some()
+    }
+
+    /// True if the task was aborted.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.panic_msg, self.cancelled) {
+            (Some(msg), _) => write!(f, "task panicked: {msg}"),
+            (None, true) => write!(f, "task was cancelled"),
+            (None, false) => write!(f, "task failed"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+enum State<T> {
+    Pending(Option<Waker>),
+    Done(Result<T, JoinError>),
+    Taken,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+}
+
+impl<T> Shared<T> {
+    fn complete(&self, result: Result<T, JoinError>) {
+        let waker = {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            match &mut *state {
+                State::Pending(w) => {
+                    let w = w.take();
+                    *state = State::Done(result);
+                    w
+                }
+                // Already completed (can't happen) or taken: drop the result.
+                _ => None,
+            }
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// Handle to a spawned task; a future resolving to the task's output.
+pub struct JoinHandle<T> {
+    shared: Arc<Shared<T>>,
+    aborted: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Request cancellation. Best-effort in this stand-in: the underlying
+    /// thread is not killed, but `await` returns `Err(cancelled)` once the
+    /// task would otherwise have been joined, and tasks blocked on sockets
+    /// exit via the shutdown cascade of their peers. The flag is observable
+    /// so cooperative tasks could check it; none currently do.
+    pub fn abort(&self) {
+        self.aborted
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// True once the task has produced a result.
+    pub fn is_finished(&self) -> bool {
+        !matches!(
+            &*self.shared.state.lock().unwrap_or_else(|e| e.into_inner()),
+            State::Pending(_)
+        )
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        match &mut *state {
+            State::Pending(waker) => {
+                *waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+            State::Done(_) => {
+                let done = std::mem::replace(&mut *state, State::Taken);
+                match done {
+                    State::Done(result) => Poll::Ready(result),
+                    _ => unreachable!(),
+                }
+            }
+            State::Taken => panic!("JoinHandle polled after completion"),
+        }
+    }
+}
+
+/// Spawn `future` on its own OS thread and return a handle to its output.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State::Pending(None)),
+    });
+    let aborted = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let worker_shared = Arc::clone(&shared);
+    std::thread::spawn(move || {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::runtime::block_on(future)
+        }));
+        let result = outcome.map_err(|payload| JoinError {
+            // `&*payload`: pass the payload itself, not the Box (which also
+            // implements Any and would defeat the downcasts).
+            panic_msg: Some(panic_message(&*payload)),
+            cancelled: false,
+        });
+        worker_shared.complete(result);
+    });
+    JoinHandle { shared, aborted }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,91 @@
+//! Time utilities: blocking sleeps plus a timer-thread-backed [`timeout`].
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+/// Re-export: `tokio::time::Instant`'s used surface (now/elapsed/arithmetic)
+/// matches `std::time::Instant`.
+pub use std::time::Instant;
+
+/// Timeout error types.
+pub mod error {
+    /// The deadline elapsed before the wrapped future completed.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Elapsed(pub(crate) ());
+
+    impl std::fmt::Display for Elapsed {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "deadline has elapsed")
+        }
+    }
+
+    impl std::error::Error for Elapsed {}
+}
+
+/// Sleep for `dur` (blocks the calling task's thread).
+pub async fn sleep(dur: Duration) {
+    std::thread::sleep(dur);
+}
+
+/// Sleep until `deadline` (blocks the calling task's thread).
+pub async fn sleep_until(deadline: Instant) {
+    let now = Instant::now();
+    if deadline > now {
+        std::thread::sleep(deadline - now);
+    }
+}
+
+/// Future returned by [`timeout`].
+pub struct Timeout<F> {
+    future: F,
+    dur: Duration,
+    deadline: Option<Instant>,
+    timer_started: bool,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, error::Elapsed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: `future` is structurally pinned; we never move it out, and
+        // the other fields are Unpin plain data.
+        let this = unsafe { self.get_unchecked_mut() };
+        let future = unsafe { Pin::new_unchecked(&mut this.future) };
+        if let Poll::Ready(v) = future.poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        let deadline = *this
+            .deadline
+            .get_or_insert_with(|| Instant::now() + this.dur);
+        if Instant::now() >= deadline {
+            return Poll::Ready(Err(error::Elapsed(())));
+        }
+        if !this.timer_started {
+            this.timer_started = true;
+            let waker = cx.waker().clone();
+            std::thread::spawn(move || {
+                let now = Instant::now();
+                if deadline > now {
+                    std::thread::sleep(deadline - now);
+                }
+                waker.wake();
+            });
+        }
+        Poll::Pending
+    }
+}
+
+/// Require `future` to complete within `dur`.
+///
+/// The wrapped future must be waker-driven (e.g. a [`crate::task::JoinHandle`]);
+/// wrapping a future that *blocks* inside `poll` would defeat the timeout.
+pub fn timeout<F: Future>(dur: Duration, future: F) -> Timeout<F> {
+    Timeout {
+        future,
+        dur,
+        deadline: None,
+        timer_started: false,
+    }
+}
