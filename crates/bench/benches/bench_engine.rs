@@ -1,0 +1,255 @@
+//! Engine throughput benchmark: events/sec on three canonical topologies,
+//! under both the heap and calendar-queue schedulers.
+//!
+//! Modes (args after `--` reach this binary):
+//!
+//! * default (`cargo bench --bench bench_engine`) — criterion-style timing
+//!   of all three topologies on both engines.
+//! * `--quick-smoke` — tiny-scale run asserting both engines agree exactly
+//!   (CI gate; seconds, not minutes).
+//! * `--json <path> [--repro-baseline-s X --repro-current-s Y]` — measure
+//!   and write the `BENCH_netsim.json` perf-trajectory artifact, optionally
+//!   recording the cold `repro_all --quick` serial-equivalent seconds.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use dmp_core::spec::SchedulerKind;
+use dmp_runner::Json;
+use netsim::app::App;
+use netsim::apps::{Ftp, HttpParams, HttpSession};
+use netsim::link::LinkSpec;
+use netsim::sim::{Sim, SimApi};
+use netsim::tcp::{SinkConfig, TcpConfig};
+use netsim::time::{secs, SECOND};
+use netsim::{EngineKind, FlowId};
+
+struct FtpStarter {
+    flow: FlowId,
+}
+impl App for FtpStarter {
+    fn start(&mut self, api: &mut SimApi<'_>) {
+        api.set_backlogged(self.flow, None);
+    }
+}
+
+/// Fingerprint of a run: must be identical across engines.
+type Digest = (u64, u64, u64);
+
+/// Topology 1: two hosts, one clean 10 Mbps / 10 ms pipe, one backlogged
+/// FTP. The minimal engine hot loop: serialisation + arrival + ACK events.
+fn run_two_host(engine: EngineKind, dur_s: f64) -> (u64, Digest) {
+    let mut sim = Sim::with_engine(1, engine);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    let (f, r) = sim.add_duplex(a, b, LinkSpec::from_table(10.0, 10.0, 100));
+    sim.add_route(a, b, f);
+    sim.add_route(b, a, r);
+    let flow = sim.add_flow(a, b, TcpConfig::default(), SinkConfig::default());
+    sim.add_app(Box::new(FtpStarter { flow }));
+    sim.run_until(secs(dur_s));
+    let digest = (
+        sim.sink(flow).stats.delivered,
+        sim.sender(flow).stats.retransmits,
+        sim.events_processed(),
+    );
+    (sim.events_processed(), digest)
+}
+
+/// Topology 2: a congested Table 1 config-2-like bottleneck (3.7 Mbps, 1 ms,
+/// 50-packet buffer) shared by 9 FTPs and 40 on/off HTTP sessions. Loss,
+/// retransmission timers, and app timers all active — the background-traffic
+/// workload that dominates the figure sweeps.
+fn run_bottleneck_bg(engine: EngineKind, dur_s: f64) -> (u64, Digest) {
+    let mut sim = Sim::with_engine(2, engine);
+    let a = sim.add_node("src");
+    let b = sim.add_node("dst");
+    let (f, r) = sim.add_duplex(a, b, LinkSpec::from_table(3.7, 1.0, 50));
+    sim.add_route(a, b, f);
+    sim.add_route(b, a, r);
+    let bg_cfg = TcpConfig {
+        max_wnd: 20,
+        ..TcpConfig::default()
+    };
+    let mut flows = Vec::new();
+    for i in 0..9u64 {
+        let flow = sim.add_flow(a, b, bg_cfg, SinkConfig::default());
+        flows.push(flow);
+        sim.add_app(Box::new(Ftp::new(flow, i * SECOND / 10)));
+    }
+    for i in 0..40u64 {
+        let flow = sim.add_flow(a, b, bg_cfg, SinkConfig::default());
+        flows.push(flow);
+        sim.add_app(Box::new(HttpSession::new(
+            flow,
+            HttpParams::default(),
+            i * SECOND / 20,
+        )));
+    }
+    sim.run_until(secs(dur_s));
+    let mut delivered = 0;
+    let mut dropped = 0;
+    for &flow in &flows {
+        delivered += sim.sink(flow).stats.delivered;
+        dropped += sim.flow_counters(flow).data_dropped;
+    }
+    let digest = (delivered, dropped, sim.events_processed());
+    (sim.events_processed(), digest)
+}
+
+/// Topology 3: the paper's Setting 2-2 multipath video run (DMP scheduler,
+/// two independent congested paths, full background traffic) — the workload
+/// `repro_all` actually spends its time in. Events counted via the engine
+/// telemetry delta because `dmp_sim::experiment::run` owns the `Sim`.
+fn run_multipath_video(engine: EngineKind, dur_s: f64) -> (u64, Digest) {
+    let setting = *dmp_sim::configs::setting("2-2").expect("setting 2-2 exists");
+    let mut spec =
+        dmp_sim::experiment::ExperimentSpec::new(setting, SchedulerKind::Dynamic, dur_s, 2007);
+    spec.warmup_s = 10.0;
+    spec.engine = engine;
+    let before = netsim::telemetry::snapshot().events_processed;
+    let out = dmp_sim::experiment::run(&spec);
+    let events = netsim::telemetry::snapshot().events_processed - before;
+    let digest = (
+        out.trace.delivered(),
+        out.trace.generated(),
+        (out.paths.iter().map(|p| p.share).sum::<f64>() * 1e9) as u64,
+    );
+    (events, digest)
+}
+
+type TopoFn = fn(EngineKind, f64) -> (u64, Digest);
+
+const TOPOLOGIES: [(&str, TopoFn, f64); 3] = [
+    ("two_host", run_two_host, 60.0),
+    ("bottleneck_bg", run_bottleneck_bg, 60.0),
+    ("multipath_video", run_multipath_video, 60.0),
+];
+
+const ENGINES: [(&str, EngineKind); 2] = [
+    ("heap", EngineKind::Heap),
+    ("calendar", EngineKind::Calendar),
+];
+
+/// One timed measurement: simulated events per wall-clock second.
+fn measure(f: TopoFn, engine: EngineKind, dur_s: f64) -> (u64, f64) {
+    let t0 = Instant::now();
+    let (events, _) = f(engine, dur_s);
+    let wall = t0.elapsed().as_secs_f64();
+    (events, events as f64 / wall.max(1e-9))
+}
+
+/// `--quick-smoke`: both engines must produce identical simulations, fast.
+fn quick_smoke() {
+    for (name, f, _) in TOPOLOGIES {
+        let dur = if name == "multipath_video" {
+            20.0
+        } else {
+            10.0
+        };
+        let (_, d_heap) = f(EngineKind::Heap, dur);
+        let (_, d_cal) = f(EngineKind::Calendar, dur);
+        assert_eq!(
+            d_heap, d_cal,
+            "{name}: engines disagree (heap vs calendar digest)"
+        );
+        println!("smoke {name}: engines agree, digest {d_heap:?}");
+    }
+    println!("quick-smoke OK: heap and calendar engines agree on all topologies");
+}
+
+/// `--json <path>`: measure all topologies × engines and write the
+/// perf-trajectory artifact.
+fn write_json(path: &str, repro_baseline_s: Option<f64>, repro_current_s: Option<f64>) {
+    let mut topo_rows = Vec::new();
+    for (name, f, dur_s) in TOPOLOGIES {
+        // Warm-up pass (page in code and allocator), then the timed pass.
+        let _ = f(EngineKind::Calendar, 5.0);
+        let mut engine_rows = Vec::new();
+        for (ename, engine) in ENGINES {
+            let (events, eps) = measure(f, engine, dur_s);
+            println!("{name}/{ename}: {events} events, {eps:.0} events/s");
+            engine_rows.push((
+                ename,
+                Json::obj([
+                    ("events", Json::Num(events as f64)),
+                    ("events_per_s", Json::Num(eps.round())),
+                ]),
+            ));
+        }
+        topo_rows.push((
+            name,
+            Json::obj([
+                ("sim_duration_s", Json::Num(dur_s)),
+                ("engines", Json::obj(engine_rows)),
+            ]),
+        ));
+    }
+    let mut fields = vec![
+        ("schema", Json::Str("bench_netsim/v1".into())),
+        ("bench", Json::Str("bench_engine".into())),
+        ("topologies", Json::obj(topo_rows)),
+    ];
+    let mut repro = Vec::new();
+    if let Some(b) = repro_baseline_s {
+        repro.push(("baseline_serial_equiv_s", Json::Num(b)));
+    }
+    if let Some(c) = repro_current_s {
+        repro.push(("current_serial_equiv_s", Json::Num(c)));
+    }
+    if let (Some(b), Some(c)) = (repro_baseline_s, repro_current_s) {
+        repro.push(("speedup", Json::Num((b / c * 100.0).round() / 100.0)));
+    }
+    if !repro.is_empty() {
+        fields.push(("repro_all_quick", Json::obj(repro)));
+    }
+    let json = Json::obj(fields);
+    std::fs::write(path, json.render_pretty()).expect("write BENCH json");
+    println!("wrote {path}");
+}
+
+/// Default mode: criterion timing of every topology × engine.
+fn bench(c: &mut Criterion) {
+    for (name, f, _) in TOPOLOGIES {
+        for (ename, engine) in ENGINES {
+            c.bench_function(&format!("engine/{name}/{ename}"), |b| {
+                b.iter(|| f(engine, 20.0))
+            });
+        }
+    }
+    // Also print events/sec once per combination, which criterion's
+    // per-iteration timing does not show directly.
+    for (name, f, _) in TOPOLOGIES {
+        for (ename, engine) in ENGINES {
+            let (events, eps) = measure(f, engine, 20.0);
+            println!("engine/{name}/{ename}: {events} events, {eps:.0} events/s");
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(3);
+    targets = bench
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    if flag("--quick-smoke") {
+        quick_smoke();
+        return;
+    }
+    if let Some(path) = value("--json") {
+        let base = value("--repro-baseline-s").and_then(|v| v.parse().ok());
+        let cur = value("--repro-current-s").and_then(|v| v.parse().ok());
+        write_json(&path, base, cur);
+        return;
+    }
+    benches();
+}

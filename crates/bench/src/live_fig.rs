@@ -58,6 +58,7 @@ pub fn experiment_set(scale: &Scale) -> Vec<LiveExperiment> {
             paths: vec![mk(r0, delay0), mk(r1, delay1)],
             send_buf_bytes: 16 * 1024,
             seed: scale.seed.wrapping_add(i as u64 * 97),
+            time_dilation: scale.live_time_dilation,
         });
     }
     v
@@ -82,8 +83,9 @@ fn live_job(i: usize, exp: LiveExperiment, taus: Vec<f64>) -> JobSpec<RunSummary
     })
 }
 
-/// Run the Fig. 7 experiment set (wall-clock bound: `packets/µ` seconds per
-/// experiment, parallelised across runner threads) and print both panels.
+/// Run the Fig. 7 experiment set (wall-clock bound: `packets/(µF)` seconds
+/// per experiment at time-dilation factor `F`, parallelised across runner
+/// threads) and print both panels.
 pub fn fig7(r: &Runner, scale: &Scale) -> TargetReport {
     let taus = [4.0, 6.0, 8.0, 10.0];
     let experiments = experiment_set(scale);

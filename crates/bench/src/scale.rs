@@ -19,6 +19,13 @@ pub struct Scale {
     pub live_packets: u64,
     /// Number of live experiments for the Fig. 7 scatter.
     pub live_experiments: usize,
+    /// Time-dilation factor for live runs: the emulated paths run `F`×
+    /// faster than real time (rates ×F, delays ÷F) and recorded timestamps
+    /// are scaled back, so a `packets/µ`-second stream costs `packets/(µF)`
+    /// wall seconds. Distortion stays small while the dilated event spacing
+    /// (generation interval, chunk serialisation, path delay) remains well
+    /// above the tokio timer granularity of ~1 ms.
+    pub live_time_dilation: f64,
     /// Base seed.
     pub seed: u64,
 }
@@ -33,6 +40,7 @@ impl Scale {
             search_consumptions: 2_000_000,
             live_packets: 3_000,
             live_experiments: 10,
+            live_time_dilation: 4.0,
             seed: 2007,
         }
     }
@@ -46,6 +54,7 @@ impl Scale {
             search_consumptions: 400_000,
             live_packets: 400,
             live_experiments: 3,
+            live_time_dilation: 6.0,
             seed: 2007,
         }
     }

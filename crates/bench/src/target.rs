@@ -99,14 +99,44 @@ pub fn execute(
     target: TargetFn,
 ) -> TargetOutcome {
     let before = runner.stats();
+    let engine_before = netsim::telemetry::snapshot();
     let t0 = Instant::now();
     let report = target(runner, scale);
     let wall = t0.elapsed();
     let stats = stats_delta(before, runner.stats());
+    let engine = netsim::telemetry::snapshot();
     if let Err(e) = artifacts.write(name, &report.data) {
         eprintln!("warning: could not write artifact {name}.json: {e}");
     }
-    if let Err(e) = artifacts.write_meta(name, &stats, runner.threads(), wall) {
+    // Engine counters: counts are deltas attributable to this target;
+    // high-water marks are process-lifetime peaks (monotone maxima).
+    let engine_meta = vec![
+        (
+            "engine_events",
+            Json::Num((engine.events_processed - engine_before.events_processed) as f64),
+        ),
+        (
+            "engine_events_per_s",
+            Json::Num(if stats.serial_equiv.as_secs_f64() > 0.0 {
+                (engine.events_processed - engine_before.events_processed) as f64
+                    / stats.serial_equiv.as_secs_f64()
+            } else {
+                0.0
+            }),
+        ),
+        (
+            "engine_stale_timer_pops",
+            Json::Num((engine.stale_timer_pops - engine_before.stale_timer_pops) as f64),
+        ),
+        (
+            "engine_deferred_timer_pushes",
+            Json::Num((engine.deferred_timer_pushes - engine_before.deferred_timer_pushes) as f64),
+        ),
+        ("engine_wheel_hwm", Json::Num(engine.wheel_hwm as f64)),
+        ("engine_far_hwm", Json::Num(engine.far_hwm as f64)),
+        ("engine_slab_hwm", Json::Num(engine.slab_hwm as f64)),
+    ];
+    if let Err(e) = artifacts.write_meta(name, &stats, runner.threads(), wall, engine_meta) {
         eprintln!("warning: could not write artifact {name}.meta.json: {e}");
     }
     println!("{}", report.text);

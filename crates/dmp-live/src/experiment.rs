@@ -37,6 +37,15 @@ pub struct LiveExperiment {
     pub send_buf_bytes: u32,
     /// Seed for the emulators' rate processes.
     pub seed: u64,
+    /// Time-dilation factor `F ≥ 1`: the experiment is *executed* `F`× faster
+    /// than its nominal timeline (path rates and the video rate ×F, delays
+    /// and resample intervals ÷F) and every recorded timestamp is scaled back
+    /// by `F`, so the trace and all derived metrics stay in nominal time.
+    /// Byte-denominated state (shaper queue, kernel socket buffers) is
+    /// untouched, which preserves the backpressure dynamics the scheme
+    /// relies on. `1.0` = real time. Keep the dilated event spacing (nominal
+    /// spacing ÷ F) well above tokio's ~1 ms timer granularity.
+    pub time_dilation: f64,
 }
 
 impl LiveExperiment {
@@ -82,8 +91,39 @@ pub struct LiveRun {
     pub est_paths: Vec<PathSpec>,
 }
 
+/// Scale a nominal path profile to run `f`× faster than real time.
+fn dilate_profile(p: &PathProfile, f: f64) -> PathProfile {
+    PathProfile {
+        rate_bps: p.rate_bps * f,
+        variability: p.variability,
+        resample_every: p.resample_every.div_f64(f),
+        delay: p.delay.div_f64(f),
+        queue_bytes: p.queue_bytes,
+    }
+}
+
+/// Map a trace recorded on the dilated (`f`× fast) clock back to nominal
+/// time: every timestamp and the observation window stretch by `f`.
+fn undilate_trace(
+    trace: &dmp_core::trace::StreamTrace,
+    video: VideoSpec,
+    f: f64,
+) -> dmp_core::trace::StreamTrace {
+    let mut t =
+        dmp_core::trace::StreamTrace::new(video, (trace.end_ns() as f64 * f).round() as u64);
+    for r in trace.records() {
+        t.on_generated(r.seq, (r.gen_ns as f64 * f).round() as u64);
+        if let Some(a) = r.arrival_ns {
+            t.on_arrival(r.seq, (a as f64 * f).round() as u64, r.path);
+        }
+    }
+    t
+}
+
 /// Execute the experiment and evaluate lateness at each τ in `taus_s`.
 pub async fn run_experiment(exp: &LiveExperiment, taus_s: &[f64]) -> std::io::Result<LiveRun> {
+    let f = exp.time_dilation;
+    assert!(f >= 1.0, "time_dilation must be ≥ 1 (got {f})");
     let mut listeners = Vec::new();
     let mut client_addrs = Vec::new();
     for _ in &exp.paths {
@@ -93,17 +133,25 @@ pub async fn run_experiment(exp: &LiveExperiment, taus_s: &[f64]) -> std::io::Re
     }
     let mut emus = Vec::new();
     for (k, profile) in exp.paths.iter().enumerate() {
-        emus.push(PathEmulator::spawn(*profile, client_addrs[k], exp.seed ^ k as u64).await?);
+        let dilated = dilate_profile(profile, f);
+        emus.push(PathEmulator::spawn(dilated, client_addrs[k], exp.seed ^ k as u64).await?);
     }
     let addrs: Vec<_> = emus.iter().map(|e| e.addr()).collect();
     let cfg = LiveConfig {
-        video: exp.video,
+        video: VideoSpec {
+            rate_pps: exp.video.rate_pps * f,
+            packet_bytes: exp.video.packet_bytes,
+        },
         packets: exp.packets,
         send_buf_bytes: exp.send_buf_bytes,
     };
     let max_tau = taus_s.iter().cloned().fold(1.0, f64::max);
-    let grace = Duration::from_secs_f64(max_tau.min(15.0) + 2.0);
-    let output = run_stream(cfg, &addrs, listeners, grace).await?;
+    let grace = Duration::from_secs_f64((max_tau.min(15.0) + 2.0) / f);
+    let mut output = run_stream(cfg, &addrs, listeners, grace).await?;
+    if f != 1.0 {
+        output.trace = undilate_trace(&output.trace, exp.video, f);
+        output.elapsed = output.elapsed.mul_f64(f);
+    }
     let report = LatenessReport::from_trace(&output.trace, taus_s);
     let est_paths = (0..exp.paths.len())
         .map(|k| exp.effective_path_spec(k))
@@ -142,6 +190,7 @@ mod tests {
             ],
             send_buf_bytes: 16 * 1024,
             seed: 3,
+            time_dilation: 1.0,
         }
     }
 
@@ -180,6 +229,28 @@ mod tests {
             let run = run_experiment(&exp, &[1.0]).await.unwrap();
             let f = run.report.per_tau[0].playback_order;
             assert!(f > 0.1, "f = {f}");
+        })
+    }
+
+    #[test]
+    fn dilated_run_matches_real_time_semantics() {
+        tokio::runtime::Runtime::new().unwrap().block_on(async {
+            // Same ample-headroom experiment as above, executed 8× faster.
+            // The nominal-time trace must still show a complete, punctual
+            // delivery: everything arrives, nothing is late at τ = 2 s, and
+            // the rescaled generation span matches the nominal schedule.
+            let mut exp = two_path_exp(1_200_000.0, 1_200_000.0, 100.0, 400);
+            exp.time_dilation = 8.0;
+            let run = run_experiment(&exp, &[2.0]).await.unwrap();
+            assert!(run.output.trace.delivered() >= 399);
+            assert_eq!(run.report.per_tau[0].playback_order, 0.0);
+            let records = run.output.trace.records();
+            let span_s = (records.last().unwrap().gen_ns - records[0].gen_ns) as f64 / 1e9;
+            let nominal_s = (exp.packets - 1) as f64 * exp.video.gen_interval_s();
+            assert!(
+                (span_s - nominal_s).abs() < 0.1 * nominal_s,
+                "generation span {span_s:.2}s vs nominal {nominal_s:.2}s"
+            );
         })
     }
 

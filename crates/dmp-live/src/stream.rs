@@ -72,7 +72,9 @@ pub struct LiveOutput {
     pub trace: StreamTrace,
     /// Packets received per path.
     pub per_path_packets: Vec<u64>,
-    /// Wall-clock duration of the run.
+    /// Duration of the run on the trace's clock: wall-clock as produced by
+    /// [`run_stream`], rescaled to the nominal timeline by time-dilated
+    /// experiments (see `LiveExperiment::time_dilation`).
     pub elapsed: Duration,
 }
 

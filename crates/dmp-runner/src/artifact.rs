@@ -56,17 +56,20 @@ impl ArtifactWriter {
         Ok(path)
     }
 
-    /// Write volatile execution telemetry as `<name>.meta.json`.
+    /// Write volatile execution telemetry as `<name>.meta.json`. `extra`
+    /// key/value pairs (e.g. simulation-engine counters) are appended after
+    /// the standard runner fields.
     pub fn write_meta(
         &self,
         name: &str,
         stats: &RunnerStats,
         threads: usize,
         wall: Duration,
+        extra: Vec<(&str, Json)>,
     ) -> io::Result<PathBuf> {
         std::fs::create_dir_all(&self.dir)?;
         let path = self.dir.join(format!("{name}.meta.json"));
-        let meta = Json::obj([
+        let mut fields = vec![
             ("target", Json::Str(name.to_string())),
             ("wall_s", Json::Num(wall.as_secs_f64())),
             (
@@ -78,7 +81,9 @@ impl ArtifactWriter {
             ("cache_hits", Json::Num(stats.cache_hits as f64)),
             ("cache_misses", Json::Num(stats.cache_misses as f64)),
             ("failed_jobs", Json::Num(stats.failed as f64)),
-        ]);
+        ];
+        fields.extend(extra);
+        let meta = Json::obj(fields);
         std::fs::write(&path, meta.render_pretty())?;
         Ok(path)
     }
@@ -101,6 +106,7 @@ mod tests {
                 &RunnerStats::default(),
                 4,
                 Duration::from_millis(1500),
+                vec![("engine_events", Json::Num(123.0))],
             )
             .unwrap();
         assert_eq!(data_path, tmp.path().join("fig_test.json"));
@@ -109,5 +115,6 @@ mod tests {
         assert_eq!(read_back, Some(data));
         let meta = crate::json::parse(&std::fs::read_to_string(&meta_path).unwrap()).unwrap();
         assert_eq!(meta.get("threads").unwrap().as_u64(), Some(4));
+        assert_eq!(meta.get("engine_events").unwrap().as_u64(), Some(123));
     }
 }

@@ -8,7 +8,7 @@ use dmp_core::spec::{PathSpec, SchedulerKind};
 use dmp_core::stats::OnlineStats;
 use dmp_core::trace::StreamTrace;
 use dmp_runner::{JobSpec, Json, JsonCodec};
-use netsim::{secs, Sim};
+use netsim::{secs, EngineKind, Sim};
 
 use crate::configs::{config, Setting};
 use crate::topology::{attach_background, build_correlated, video_tcp, Topology};
@@ -35,6 +35,11 @@ pub struct ExperimentSpec {
     /// Loss-recovery flavour of the video TCP flows (ablation; the paper
     /// uses Reno).
     pub video_flavor: netsim::tcp::TcpFlavor,
+    /// Simulation engine (scheduler implementation). Both engines produce
+    /// identical results — the heap exists for differential testing — but
+    /// the choice is part of the cache key so differential runs never serve
+    /// each other's cached summaries.
+    pub engine: EngineKind,
     /// RNG seed.
     pub seed: u64,
 }
@@ -51,6 +56,7 @@ impl ExperimentSpec {
             static_weights: None,
             red: false,
             video_flavor: netsim::tcp::TcpFlavor::Reno,
+            engine: EngineKind::default(),
             seed,
         }
     }
@@ -63,7 +69,10 @@ impl ExperimentSpec {
     /// version tag invalidates old entries if the representation or the
     /// simulation semantics change.
     pub fn config_repr(&self) -> String {
-        format!("dmp-sim/v1/{self:?}")
+        // v2: lazy timer-event deferral changed event sequence numbers (and
+        // therefore tie-break order) relative to v1, and the spec gained the
+        // `engine` field.
+        format!("dmp-sim/v2/{self:?}")
     }
 }
 
@@ -107,7 +116,7 @@ pub fn run(spec: &ExperimentSpec) -> RunOutput {
         SchedulerKind::SinglePath => 1,
         _ => 2,
     };
-    let mut sim = Sim::new(spec.seed);
+    let mut sim = Sim::with_engine(spec.seed, spec.engine);
     let mut video_cfg = video_tcp(setting.video.packet_bytes, spec.send_buf_pkts);
     video_cfg.flavor = spec.video_flavor;
 

@@ -1,0 +1,55 @@
+//! Differential test for the simulation engine: every figure configuration
+//! (all twelve paper settings: homogeneous, heterogeneous, and correlated)
+//! is run under both the reference binary-heap scheduler and the calendar
+//! queue, and the rendered result JSON must be **byte-identical**. The
+//! calendar queue is a pure scheduling-order-preserving optimisation; any
+//! divergence here is a bug in it.
+//!
+//! The `engine` field is part of `ExperimentSpec::config_repr`, so when a
+//! cache is configured (`DMP_CACHE_DIR`) the two engines can never be served
+//! each other's cached summaries.
+
+use dmp_core::spec::SchedulerKind;
+use dmp_runner::{Cache, JsonCodec, Runner};
+use dmp_sim::configs::{CORRELATED, HETEROGENEOUS, HOMOGENEOUS};
+use dmp_sim::experiment::{batch_jobs, ExperimentSpec, RunSummary};
+use netsim::EngineKind;
+
+/// One shortened replication of every setting with the given engine,
+/// executed through the runner (so the content-addressed cache, when
+/// enabled, is exercised with engine-tagged keys), rendered to JSON bytes.
+fn all_settings_rendered(engine: EngineKind) -> Vec<(String, String)> {
+    let runner = Runner::new(1, Cache::from_env()).with_progress(false);
+    let mut jobs = Vec::new();
+    let mut names = Vec::new();
+    for s in HOMOGENEOUS.iter().chain(&HETEROGENEOUS).chain(&CORRELATED) {
+        let mut spec = ExperimentSpec::new(*s, SchedulerKind::Dynamic, 60.0, 2007);
+        spec.warmup_s = 10.0;
+        spec.engine = engine;
+        names.push(s.name.to_string());
+        jobs.extend(batch_jobs(&spec, 1, &[2.0, 6.0]));
+    }
+    let cells = runner.run_all(jobs);
+    names
+        .into_iter()
+        .zip(cells)
+        .map(|(name, cell)| {
+            let summary: &RunSummary = cell.ok().expect("simulation job must not fail");
+            (name, summary.to_json().render())
+        })
+        .collect()
+}
+
+#[test]
+fn calendar_queue_matches_heap_reference_on_every_setting() {
+    let heap = all_settings_rendered(EngineKind::Heap);
+    let calendar = all_settings_rendered(EngineKind::Calendar);
+    assert_eq!(heap.len(), 12);
+    for ((name_h, bytes_h), (name_c, bytes_c)) in heap.iter().zip(&calendar) {
+        assert_eq!(name_h, name_c);
+        assert_eq!(
+            bytes_h, bytes_c,
+            "setting {name_h}: calendar-queue artifact diverges from the heap reference"
+        );
+    }
+}

@@ -48,13 +48,18 @@ pub mod link;
 pub mod node;
 pub mod packet;
 pub mod red;
+pub mod scheduler;
 pub mod sim;
+pub mod slab;
 pub mod tcp;
+pub mod telemetry;
 pub mod time;
 
 pub use app::App;
 pub use link::LinkSpec;
 pub use packet::{AppChunk, FlowId, LinkId, NodeId, Packet};
-pub use sim::{Sim, SimApi};
+pub use scheduler::EngineKind;
+pub use sim::{Sim, SimApi, SimCounters};
 pub use tcp::{SinkConfig, TcpConfig};
+pub use telemetry::EngineTelemetry;
 pub use time::{millis, secs, to_secs, SimTime, SECOND};

@@ -105,6 +105,8 @@ impl LinkStats {
 pub struct Link {
     /// Static parameters.
     pub spec: LinkSpec,
+    /// Node at the transmitting end (used to validate routing tables).
+    pub from: NodeId,
     /// Node at the receiving end.
     pub to: NodeId,
     busy: bool,
@@ -126,10 +128,11 @@ pub enum Offer {
 }
 
 impl Link {
-    /// Create an idle link delivering to `to`.
-    pub fn new(spec: LinkSpec, to: NodeId) -> Self {
+    /// Create an idle link from `from` delivering to `to`.
+    pub fn new(spec: LinkSpec, from: NodeId, to: NodeId) -> Self {
         Self {
             spec,
+            from,
             to,
             busy: false,
             q: VecDeque::new(),
@@ -224,7 +227,7 @@ mod tests {
     }
 
     fn link(cap: usize) -> Link {
-        Link::new(LinkSpec::from_table(1.0, 10.0, cap), 1)
+        Link::new(LinkSpec::from_table(1.0, 10.0, cap), 0, 1)
     }
 
     fn rng() -> rand::rngs::SmallRng {
@@ -286,14 +289,16 @@ mod tests {
     #[test]
     fn random_loss_drops_at_configured_rate() {
         let spec = LinkSpec::from_table(100.0, 1.0, 1000).with_random_loss(0.25);
-        let mut l = Link::new(spec, 1);
+        let mut l = Link::new(spec, 0, 1);
         let mut r = rng();
         let mut dropped = 0;
         for i in 0..20_000 {
             if matches!(l.offer(pkt(i), &mut r), Offer::Dropped(_)) {
                 dropped += 1;
             }
-            while l.tx_done().is_some() {}
+            while l.is_busy() {
+                l.tx_done();
+            }
         }
         let rate = f64::from(dropped) / 20_000.0;
         assert!((rate - 0.25).abs() < 0.02, "drop rate {rate}");

@@ -3,15 +3,17 @@
 //! A node is a host or router with a routing table mapping destination nodes
 //! to outgoing links. Routes are installed explicitly by the topology
 //! builder; a default route covers the common "stub host" case.
-
-use std::collections::HashMap;
+//!
+//! The table is a flat `Vec` indexed by destination node id — node ids are
+//! small dense arena indices, and the lookup sits on the per-packet hot
+//! path, so an array access beats hashing.
 
 use crate::packet::{LinkId, NodeId};
 
 /// A host or router.
 #[derive(Debug, Default)]
 pub struct Node {
-    routes: HashMap<NodeId, LinkId>,
+    routes: Vec<Option<LinkId>>,
     default_route: Option<LinkId>,
     /// Optional label for debugging/reports.
     pub label: String,
@@ -21,7 +23,7 @@ impl Node {
     /// Create an unlabelled node with no routes.
     pub fn new(label: impl Into<String>) -> Self {
         Self {
-            routes: HashMap::new(),
+            routes: Vec::new(),
             default_route: None,
             label: label.into(),
         }
@@ -29,7 +31,11 @@ impl Node {
 
     /// Install a route: packets destined to `dst` leave on `link`.
     pub fn add_route(&mut self, dst: NodeId, link: LinkId) {
-        self.routes.insert(dst, link);
+        let dst = dst as usize;
+        if dst >= self.routes.len() {
+            self.routes.resize(dst + 1, None);
+        }
+        self.routes[dst] = Some(link);
     }
 
     /// Install the default route used when no specific entry matches.
@@ -38,8 +44,13 @@ impl Node {
     }
 
     /// Next-hop link for a destination, if the node knows one.
+    #[inline]
     pub fn route_to(&self, dst: NodeId) -> Option<LinkId> {
-        self.routes.get(&dst).copied().or(self.default_route)
+        self.routes
+            .get(dst as usize)
+            .copied()
+            .flatten()
+            .or(self.default_route)
     }
 }
 

@@ -1,0 +1,458 @@
+//! Pending-event queues for the simulation engine.
+//!
+//! Two implementations sit behind [`EventQueue`]:
+//!
+//! * [`HeapQueue`] — the reference `BinaryHeap` scheduler. Simple, obviously
+//!   correct, `O(log n)` per operation on the *whole* queue.
+//! * [`CalendarQueue`] — a two-level calendar queue in the spirit of ns-2's
+//!   scheduler: a *near wheel* of fine-grained time buckets covering the next
+//!   ~270 ms of simulated time, plus a *far heap* for distant timers. At the
+//!   event densities of the paper's sweeps almost every event (link
+//!   serialisations, arrivals, delayed ACKs) lands in the wheel, where push
+//!   and pop are `O(1)` amortised; only long retransmission timeouts touch
+//!   the far heap.
+//!
+//! Both orderings are **identical**: events pop in strictly increasing
+//! `(time, seq)` order, where `seq` is the global push counter — i.e. exact
+//! FIFO among simultaneous events. A differential test at the experiment
+//! level (`dmp-sim/tests/scheduler_differential.rs`) and a property test
+//! below hold the two implementations to byte-identical behaviour.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Which pending-event queue a [`crate::sim::Sim`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Reference binary-heap scheduler.
+    Heap,
+    /// Two-level calendar queue (near wheel + far heap). The default.
+    #[default]
+    Calendar,
+}
+
+/// One queued event: a timestamp, the global push sequence number that breaks
+/// ties FIFO, and an opaque payload the queue never inspects.
+#[derive(Debug, Clone, Copy)]
+pub struct Entry<T> {
+    /// Due time.
+    pub time: SimTime,
+    /// Global push counter (unique; breaks ties among simultaneous events).
+    pub seq: u64,
+    /// Payload.
+    pub payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// High-water marks a queue reports for telemetry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueHwm {
+    /// Peak number of events resident in the near wheel (total queue size for
+    /// the heap scheduler).
+    pub wheel: u64,
+    /// Peak number of events resident in the far heap (0 for the heap
+    /// scheduler).
+    pub far: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Reference heap
+// ---------------------------------------------------------------------------
+
+/// The reference `BinaryHeap` scheduler.
+#[derive(Debug)]
+pub struct HeapQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    hwm: usize,
+}
+
+impl<T: Copy> HeapQueue<T> {
+    fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            hwm: 0,
+        }
+    }
+
+    fn push(&mut self, e: Entry<T>) {
+        self.heap.push(Reverse(e));
+        self.hwm = self.hwm.max(self.heap.len());
+    }
+
+    fn pop_at_or_before(&mut self, t_end: SimTime) -> Option<Entry<T>> {
+        match self.heap.peek() {
+            Some(Reverse(e)) if e.time <= t_end => self.heap.pop().map(|Reverse(e)| e),
+            _ => None,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Calendar queue
+// ---------------------------------------------------------------------------
+
+/// log2 of the bucket width: 2^17 ns ≈ 131 µs per bucket.
+const BUCKET_SHIFT: u32 = 17;
+/// Number of wheel buckets (power of two). Span = 2048 × 131 µs ≈ 268 ms,
+/// which covers serialisation times, propagation delays, and delayed-ACK
+/// timers; only RTO-scale timers overflow to the far heap.
+const BUCKETS: usize = 2048;
+const BUCKET_MASK: u64 = (BUCKETS as u64) - 1;
+const WORDS: usize = BUCKETS / 64;
+
+/// Absolute bucket index of a timestamp.
+#[inline]
+fn bucket_of(t: SimTime) -> u64 {
+    t >> BUCKET_SHIFT
+}
+
+/// Two-level calendar queue: near wheel + far heap.
+#[derive(Debug)]
+pub struct CalendarQueue<T> {
+    /// The near wheel. Slot `b & BUCKET_MASK` holds all wheel events whose
+    /// absolute bucket is `b`; the window invariant (every resident bucket is
+    /// in `[base, base + BUCKETS)`) makes the mapping unambiguous.
+    buckets: Box<[Vec<Entry<T>>]>,
+    /// One bit per slot: is the bucket non-empty? Lets the pop path skip
+    /// runs of empty buckets 64 at a time.
+    occupied: [u64; WORDS],
+    /// Absolute bucket index of the window start. Monotonically advances;
+    /// never ahead of the current simulated time's bucket.
+    base: u64,
+    wheel_len: usize,
+    /// Events too far in the future for the wheel, ordered by `(time, seq)`.
+    far: BinaryHeap<Reverse<Entry<T>>>,
+    wheel_hwm: usize,
+    far_hwm: usize,
+}
+
+impl<T: Copy> CalendarQueue<T> {
+    fn new() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
+            base: 0,
+            wheel_len: 0,
+            far: BinaryHeap::new(),
+            wheel_hwm: 0,
+            far_hwm: 0,
+        }
+    }
+
+    #[inline]
+    fn push_wheel(&mut self, e: Entry<T>) {
+        let slot = (bucket_of(e.time) & BUCKET_MASK) as usize;
+        self.buckets[slot].push(e);
+        self.occupied[slot >> 6] |= 1u64 << (slot & 63);
+        self.wheel_len += 1;
+        self.wheel_hwm = self.wheel_hwm.max(self.wheel_len);
+    }
+
+    fn push(&mut self, e: Entry<T>) {
+        let b = bucket_of(e.time);
+        debug_assert!(b >= self.base, "event scheduled behind the wheel window");
+        if b < self.base + BUCKETS as u64 {
+            self.push_wheel(e);
+        } else {
+            self.far.push(Reverse(e));
+            self.far_hwm = self.far_hwm.max(self.far.len());
+        }
+    }
+
+    /// Move far-heap events that now fall inside the wheel window.
+    fn drain_far(&mut self) {
+        let horizon = self.base + BUCKETS as u64;
+        while let Some(&Reverse(e)) = self.far.peek() {
+            if bucket_of(e.time) >= horizon {
+                break;
+            }
+            self.far.pop();
+            self.push_wheel(e);
+        }
+    }
+
+    /// First non-empty bucket at or after `base` in circular window order.
+    /// Requires `wheel_len > 0`.
+    fn first_occupied_from_base(&self) -> u64 {
+        let start = (self.base & BUCKET_MASK) as usize;
+        // Partial first word.
+        let w = self.occupied[start >> 6] & (!0u64 << (start & 63));
+        let slot = if w != 0 {
+            (start & !63) + w.trailing_zeros() as usize
+        } else {
+            let mut found = None;
+            for i in 1..=WORDS {
+                let wi = ((start >> 6) + i) % WORDS;
+                // The wrap-around word needs no end-masking: any bit before
+                // `start` in it belongs to a bucket < base + BUCKETS too.
+                let w = self.occupied[wi];
+                if w != 0 {
+                    found = Some((wi << 6) + w.trailing_zeros() as usize);
+                    break;
+                }
+            }
+            found.expect("wheel_len > 0 but no occupied bucket")
+        };
+        self.base + ((slot + BUCKETS - start) & (BUCKETS - 1)) as u64
+    }
+
+    fn pop_at_or_before(&mut self, t_end: SimTime) -> Option<Entry<T>> {
+        loop {
+            self.drain_far();
+            if self.wheel_len == 0 {
+                match self.far.peek() {
+                    None => return None,
+                    Some(&Reverse(e)) if e.time > t_end => return None,
+                    Some(&Reverse(e)) => {
+                        // Jump the window to the far heap's earliest bucket;
+                        // the next drain_far pulls it (and its neighbours) in.
+                        self.base = bucket_of(e.time);
+                        continue;
+                    }
+                }
+            }
+            let b_min = self.first_occupied_from_base();
+            if b_min > self.base {
+                if b_min > bucket_of(t_end) {
+                    // The earliest event is beyond the horizon. Advance the
+                    // window only to t_end's bucket: the caller will set
+                    // `now = t_end`, so later pushes stay inside the window.
+                    self.base = self.base.max(bucket_of(t_end));
+                    return None;
+                }
+                // Advance, then loop: the newly opened window may make more
+                // far-heap events eligible, and they could precede b_min's.
+                self.base = b_min;
+                continue;
+            }
+            // The global minimum lives in the base bucket: the wheel's
+            // earliest bucket is this one, and every far event is at least
+            // BUCKETS ahead of base.
+            let slot = (self.base & BUCKET_MASK) as usize;
+            let bucket = &mut self.buckets[slot];
+            let mut mi = 0;
+            for i in 1..bucket.len() {
+                if (bucket[i].time, bucket[i].seq) < (bucket[mi].time, bucket[mi].seq) {
+                    mi = i;
+                }
+            }
+            if bucket[mi].time > t_end {
+                return None;
+            }
+            let e = bucket.swap_remove(mi);
+            if bucket.is_empty() {
+                self.occupied[slot >> 6] &= !(1u64 << (slot & 63));
+            }
+            self.wheel_len -= 1;
+            return Some(e);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.wheel_len + self.far.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pluggable queue
+// ---------------------------------------------------------------------------
+
+/// A pending-event queue: the reference heap or the calendar queue, selected
+/// at [`crate::sim::Sim`] construction.
+// One instance per `Sim`, so the variant size gap is irrelevant; boxing the
+// calendar queue would put a pointer chase on every push/pop instead.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum EventQueue<T> {
+    /// Reference binary heap.
+    Heap(HeapQueue<T>),
+    /// Two-level calendar queue.
+    Calendar(CalendarQueue<T>),
+}
+
+impl<T: Copy> EventQueue<T> {
+    /// Create an empty queue of the given kind.
+    pub fn new(kind: EngineKind) -> Self {
+        match kind {
+            EngineKind::Heap => Self::Heap(HeapQueue::new()),
+            EngineKind::Calendar => Self::Calendar(CalendarQueue::new()),
+        }
+    }
+
+    /// Which implementation this is.
+    pub fn kind(&self) -> EngineKind {
+        match self {
+            Self::Heap(_) => EngineKind::Heap,
+            Self::Calendar(_) => EngineKind::Calendar,
+        }
+    }
+
+    /// Queue an event. `time` must be at or after the time of the last popped
+    /// event (events are never scheduled in the past).
+    #[inline]
+    pub fn push(&mut self, time: SimTime, seq: u64, payload: T) {
+        let e = Entry { time, seq, payload };
+        match self {
+            Self::Heap(q) => q.push(e),
+            Self::Calendar(q) => q.push(e),
+        }
+    }
+
+    /// Remove and return the earliest event if it is due at or before
+    /// `t_end`; `None` otherwise (the event stays queued).
+    #[inline]
+    pub fn pop_at_or_before(&mut self, t_end: SimTime) -> Option<Entry<T>> {
+        match self {
+            Self::Heap(q) => q.pop_at_or_before(t_end),
+            Self::Calendar(q) => q.pop_at_or_before(t_end),
+        }
+    }
+
+    /// Events currently queued.
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Heap(q) => q.len(),
+            Self::Calendar(q) => q.len(),
+        }
+    }
+
+    /// True if no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Occupancy high-water marks.
+    pub fn hwm(&self) -> QueueHwm {
+        match self {
+            Self::Heap(q) => QueueHwm {
+                wheel: q.hwm as u64,
+                far: 0,
+            },
+            Self::Calendar(q) => QueueHwm {
+                wheel: q.wheel_hwm as u64,
+                far: q.far_hwm as u64,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn drain_all(q: &mut EventQueue<u32>) -> Vec<(SimTime, u64, u32)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop_at_or_before(SimTime::MAX) {
+            out.push((e.time, e.seq, e.payload));
+        }
+        out
+    }
+
+    /// Push a random schedule into both queues, interleaving pops the way the
+    /// simulator does (events scheduled relative to the last popped time),
+    /// and require identical pop order — including FIFO among ties.
+    #[test]
+    fn heap_and_calendar_pop_identically() {
+        for seed in 0..8u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut heap = EventQueue::new(EngineKind::Heap);
+            let mut cal = EventQueue::new(EngineKind::Calendar);
+            let mut seq = 0u64;
+            let mut now: SimTime = 0;
+            let mut popped_h = Vec::new();
+            let mut popped_c = Vec::new();
+            for _ in 0..5_000 {
+                if rng.gen_bool(0.6) || heap.is_empty() {
+                    // Mix of near events (sub-bucket to a few ms), deliberate
+                    // ties, and far timers (beyond the wheel span).
+                    let dt: u64 = match rng.gen_range(0..10u32) {
+                        0..=5 => rng.gen_range(0..5_000_000),
+                        6 | 7 => 0,
+                        8 => rng.gen_range(0..300_000_000),
+                        _ => rng.gen_range(250_000_000..5_000_000_000),
+                    };
+                    seq += 1;
+                    heap.push(now + dt, seq, seq as u32);
+                    cal.push(now + dt, seq, seq as u32);
+                } else {
+                    let h = heap.pop_at_or_before(SimTime::MAX).unwrap();
+                    let c = cal.pop_at_or_before(SimTime::MAX).unwrap();
+                    now = h.time;
+                    popped_h.push((h.time, h.seq, h.payload));
+                    popped_c.push((c.time, c.seq, c.payload));
+                }
+            }
+            popped_h.extend(drain_all(&mut heap));
+            popped_c.extend(drain_all(&mut cal));
+            assert_eq!(popped_h, popped_c, "seed {seed}");
+            let mut sorted = popped_h.clone();
+            sorted.sort();
+            assert_eq!(popped_h, sorted, "pop order must be (time, seq)");
+        }
+    }
+
+    #[test]
+    fn pop_respects_horizon() {
+        let mut q = EventQueue::new(EngineKind::Calendar);
+        q.push(100, 1, 1u32);
+        q.push(5_000_000_000, 2, 2); // far heap
+        assert!(q.pop_at_or_before(99).is_none());
+        assert_eq!(q.pop_at_or_before(100).unwrap().payload, 1);
+        assert!(q.pop_at_or_before(4_999_999_999).is_none());
+        assert_eq!(q.pop_at_or_before(SimTime::MAX).unwrap().payload, 2);
+        assert!(q.is_empty());
+        // Pushing near-term events after the window advanced past a horizon
+        // check must still work (base never outruns simulated time).
+        q.push(5_000_000_100, 3, 3);
+        assert_eq!(q.pop_at_or_before(SimTime::MAX).unwrap().payload, 3);
+    }
+
+    #[test]
+    fn far_events_migrate_in_order() {
+        let mut q = EventQueue::new(EngineKind::Calendar);
+        // Two far events in adjacent buckets beyond the span, plus a near one.
+        q.push(10, 1, 1u32);
+        q.push(400_000_000, 2, 2);
+        q.push(300_000_000, 3, 3);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop_at_or_before(SimTime::MAX))
+            .map(|e| e.payload)
+            .collect();
+        assert_eq!(order, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn hwm_tracks_occupancy() {
+        let mut q = EventQueue::new(EngineKind::Calendar);
+        for i in 0..10u64 {
+            q.push(i * 1000, i + 1, i as u32);
+        }
+        q.push(10_000_000_000, 99, 99);
+        let hwm = q.hwm();
+        assert_eq!(hwm.wheel, 10);
+        assert_eq!(hwm.far, 1);
+    }
+}

@@ -1,9 +1,11 @@
 //! TCP Reno endpoints (sender, sink) and RTT estimation.
 
+pub mod ring;
 mod rtt;
 mod sender;
 mod sink;
 
+pub use ring::SeqRing;
 pub use rtt::RttEstimator;
 pub use sender::{SenderStats, TcpConfig, TcpFlavor, TcpSender};
 pub use sink::{SinkConfig, SinkStats, TcpSink};

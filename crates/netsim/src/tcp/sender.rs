@@ -13,9 +13,10 @@
 //! with higher achievable throughput frees space faster and therefore pulls
 //! more packets from the shared server queue.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::packet::{AppChunk, FlowId, NodeId, Packet};
+use crate::tcp::ring::SeqRing;
 use crate::tcp::rtt::RttEstimator;
 use crate::time::{secs, SimTime};
 
@@ -121,7 +122,10 @@ pub struct TcpSender {
     // --- data ---
     mode: AppMode,
     tx_buf: VecDeque<AppChunk>,
-    inflight: BTreeMap<u64, AppChunk>,
+    /// Chunks sent but not yet cumulatively acked, keyed by segment number.
+    /// The key space `[snd_una, next_seq)` is dense and window-bounded, so a
+    /// seq-indexed ring beats a tree map on every access.
+    inflight: SeqRing<AppChunk>,
 
     // --- estimator & stats ---
     /// RTT estimator (public for measurement reports).
@@ -162,7 +166,7 @@ impl TcpSender {
             cwnd_limited: false,
             mode: AppMode::Buffered,
             tx_buf: VecDeque::new(),
-            inflight: BTreeMap::new(),
+            inflight: SeqRing::new(),
             rtt: RttEstimator::default(),
             stats: SenderStats::default(),
             outbox: Vec::new(),
@@ -299,7 +303,7 @@ impl TcpSender {
     fn retransmit_head(&mut self) {
         let chunk = *self
             .inflight
-            .get(&self.snd_una)
+            .get(self.snd_una)
             .expect("snd_una must be in flight when retransmitting");
         self.emit(self.snd_una, chunk, true);
         self.stats.retransmits += 1;
@@ -351,14 +355,7 @@ impl TcpSender {
             }
         }
         let newly_acked = ack - self.snd_una;
-        while self
-            .inflight
-            .first_key_value()
-            .map(|(&k, _)| k < ack)
-            .unwrap_or(false)
-        {
-            self.inflight.pop_first();
-        }
+        self.inflight.advance_to(ack);
         self.snd_una = ack;
         self.dupacks = 0;
         self.backoff_exp = 0;

@@ -5,9 +5,8 @@
 //! per-flow state carries an explicit delayed-ACK component `C` (window
 //! growth of one segment every two rounds in congestion avoidance).
 
-use std::collections::BTreeMap;
-
 use crate::packet::{AppChunk, FlowId, NodeId, Packet};
+use crate::tcp::ring::SeqRing;
 use crate::time::{SimTime, MILLISECOND};
 
 /// Sink tunables.
@@ -54,7 +53,10 @@ pub struct TcpSink {
     pub cfg: SinkConfig,
 
     rcv_next: u64,
-    ooo: BTreeMap<u64, AppChunk>,
+    /// Segments received ahead of `rcv_next`, keyed by segment number. The
+    /// sender's window bounds how far ahead a segment can be, so a
+    /// seq-indexed ring replaces the old tree map.
+    ooo: SeqRing<AppChunk>,
     delack_count: u32,
 
     /// Statistics.
@@ -80,7 +82,7 @@ impl TcpSink {
             peer,
             cfg,
             rcv_next: 0,
-            ooo: BTreeMap::new(),
+            ooo: SeqRing::new(),
             delack_count: 0,
             stats: SinkStats::default(),
             outbox: Vec::new(),
@@ -118,11 +120,12 @@ impl TcpSink {
             self.rcv_next += 1;
             self.delivered.push(chunk);
             self.stats.delivered += 1;
-            while let Some(c) = self.ooo.remove(&self.rcv_next) {
+            while let Some(c) = self.ooo.remove(self.rcv_next) {
                 self.delivered.push(c);
                 self.stats.delivered += 1;
                 self.rcv_next += 1;
             }
+            self.ooo.advance_to(self.rcv_next);
             if had_gap {
                 // Filling (part of) a gap: ack immediately so the sender's
                 // recovery makes progress (RFC 5681 §4.2).

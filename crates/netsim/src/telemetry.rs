@@ -1,0 +1,65 @@
+//! Process-wide engine telemetry.
+//!
+//! Experiment harnesses (the `dmp-runner` crate) run many simulations on a
+//! worker pool and want aggregate engine health numbers in their volatile
+//! `.meta.json` sidecars without threading a handle into every job closure.
+//! Each [`crate::sim::Sim`] merges its counters into these atomics when it is
+//! dropped; [`snapshot`] reads the totals. Counts accumulate (`fetch_add`),
+//! high-water marks take the max across simulations (`fetch_max`).
+//!
+//! Telemetry is deliberately *not* part of any deterministic artifact: it
+//! varies with thread interleaving and machine speed, which is exactly why it
+//! lives here and not in simulation results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::sim::SimCounters;
+
+static EVENTS_PROCESSED: AtomicU64 = AtomicU64::new(0);
+static STALE_TIMER_POPS: AtomicU64 = AtomicU64::new(0);
+static DEFERRED_TIMER_PUSHES: AtomicU64 = AtomicU64::new(0);
+static WHEEL_HWM: AtomicU64 = AtomicU64::new(0);
+static FAR_HWM: AtomicU64 = AtomicU64::new(0);
+static SLAB_HWM: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time reading of the process-wide engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineTelemetry {
+    /// Total events dispatched across all simulations.
+    pub events_processed: u64,
+    /// Timer events popped after their endpoint cancelled or superseded them.
+    pub stale_timer_pops: u64,
+    /// Timer events re-queued because the deadline moved later (lazy
+    /// deferral instead of one event per timer restart).
+    pub deferred_timer_pushes: u64,
+    /// Peak near-wheel occupancy of any single simulation.
+    pub wheel_hwm: u64,
+    /// Peak far-heap occupancy of any single simulation.
+    pub far_hwm: u64,
+    /// Peak packet-slab occupancy of any single simulation.
+    pub slab_hwm: u64,
+}
+
+/// Fold one simulation's counters into the process-wide totals. Called from
+/// `Sim`'s `Drop`.
+pub(crate) fn merge(c: &SimCounters) {
+    EVENTS_PROCESSED.fetch_add(c.events_processed, Ordering::Relaxed);
+    STALE_TIMER_POPS.fetch_add(c.stale_timer_pops, Ordering::Relaxed);
+    DEFERRED_TIMER_PUSHES.fetch_add(c.deferred_timer_pushes, Ordering::Relaxed);
+    WHEEL_HWM.fetch_max(c.wheel_hwm, Ordering::Relaxed);
+    FAR_HWM.fetch_max(c.far_hwm, Ordering::Relaxed);
+    SLAB_HWM.fetch_max(c.slab_hwm, Ordering::Relaxed);
+}
+
+/// Read the current process-wide totals. Subtract two snapshots to attribute
+/// events to a phase of a run.
+pub fn snapshot() -> EngineTelemetry {
+    EngineTelemetry {
+        events_processed: EVENTS_PROCESSED.load(Ordering::Relaxed),
+        stale_timer_pops: STALE_TIMER_POPS.load(Ordering::Relaxed),
+        deferred_timer_pushes: DEFERRED_TIMER_PUSHES.load(Ordering::Relaxed),
+        wheel_hwm: WHEEL_HWM.load(Ordering::Relaxed),
+        far_hwm: FAR_HWM.load(Ordering::Relaxed),
+        slab_hwm: SLAB_HWM.load(Ordering::Relaxed),
+    }
+}

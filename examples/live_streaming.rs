@@ -40,6 +40,9 @@ fn main() -> std::io::Result<()> {
         ],
         send_buf_bytes: 16 * 1024,
         seed: 7,
+        // Run the emulation 4× faster than real time (timestamps are scaled
+        // back): ~14 s of video streams in ~3.5 s of wall clock.
+        time_dilation: 4.0,
     };
 
     println!(
