@@ -1,0 +1,4 @@
+//! Scenario extension: a scripted transient flash crowd on one path.
+fn main() {
+    dmp_bench::target::run_standalone(&[("ext_flashcrowd", dmp_bench::scenarios::ext_flashcrowd)]);
+}

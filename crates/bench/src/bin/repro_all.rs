@@ -2,9 +2,11 @@
 //! writing one JSON artifact per target plus a final telemetry summary.
 //!
 //! Flags: `--quick` (reduced scale, seconds per target) / `--full`
-//! (paper-fidelity, the default). A second invocation at the same scale
-//! answers from the content-addressed cache (`target/dmp-cache`); delete the
-//! directory or set `DMP_NO_CACHE=1` to recompute.
+//! (paper-fidelity, the default); `--scenarios` appends the scripted
+//! path-dynamics targets (`ext_failover`, `ext_flashcrowd`) after the paper
+//! figures. A second invocation at the same scale answers from the
+//! content-addressed cache (`target/dmp-cache`); delete the directory or set
+//! `DMP_NO_CACHE=1` to recompute.
 
 use std::time::Instant;
 
@@ -15,7 +17,12 @@ fn main() {
     let runner = Runner::from_env();
     let artifacts = ArtifactWriter::from_env();
     let t0 = Instant::now();
-    let outcomes: Vec<_> = dmp_bench::target::all_targets()
+    let mut targets = dmp_bench::target::all_targets();
+    if std::env::args().any(|a| a == "--scenarios") {
+        targets.push(("ext_failover", dmp_bench::scenarios::ext_failover));
+        targets.push(("ext_flashcrowd", dmp_bench::scenarios::ext_flashcrowd));
+    }
+    let outcomes: Vec<_> = targets
         .into_iter()
         .map(|(name, f)| dmp_bench::target::execute(name, &runner, &artifacts, &scale, f))
         .collect();

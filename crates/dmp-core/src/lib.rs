@@ -12,6 +12,8 @@
 //! * [`trace`] — per-packet delivery traces recorded by either backend;
 //! * [`metrics`] — the paper's performance metric (fraction of late packets),
 //!   computed both in playback order and in arrival order;
+//! * [`resilience`] — glitch/recovery metrics for fault-injection scenarios
+//!   (glitch durations, worst-window late fraction, time to recover);
 //! * [`stats`] — small statistics helpers (means, confidence intervals).
 //!
 //! # The scheme in one paragraph
@@ -29,12 +31,14 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod resilience;
 pub mod scheme;
 pub mod spec;
 pub mod stats;
 pub mod trace;
 
 pub use metrics::{buffer_occupancy, BufferOccupancy, LateFractions, LatenessReport};
+pub use resilience::{ResilienceReport, ResilienceSpec};
 pub use scheme::{DynamicQueue, ReorderBuffer, StaticSplitter, StreamPacket};
 pub use spec::{PathSpec, SchedulerKind, VideoSpec};
 pub use trace::{DeliveryRecord, StreamTrace};

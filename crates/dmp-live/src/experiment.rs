@@ -46,6 +46,11 @@ pub struct LiveExperiment {
     /// relies on. `1.0` = real time. Keep the dilated event spacing (nominal
     /// spacing ÷ F) well above tokio's ~1 ms timer granularity.
     pub time_dilation: f64,
+    /// Scripted per-path shaping schedules (from
+    /// [`scenario::compile_live`]), replacing the emulators' random rate
+    /// resamplers. `None` = the profiles' own random processes. Step times
+    /// are nominal; dilation is applied internally.
+    pub schedules: Option<Vec<scenario::PathSchedule>>,
 }
 
 impl LiveExperiment {
@@ -131,10 +136,32 @@ pub async fn run_experiment(exp: &LiveExperiment, taus_s: &[f64]) -> std::io::Re
         client_addrs.push(l.local_addr()?);
         listeners.push(l);
     }
+    if let Some(schedules) = &exp.schedules {
+        assert_eq!(
+            schedules.len(),
+            exp.paths.len(),
+            "one schedule per path required"
+        );
+    }
     let mut emus = Vec::new();
     for (k, profile) in exp.paths.iter().enumerate() {
         let dilated = dilate_profile(profile, f);
-        emus.push(PathEmulator::spawn(dilated, client_addrs[k], exp.seed ^ k as u64).await?);
+        // Dilate scripted step times; factors are relative, so they carry
+        // over unchanged.
+        let schedule = exp.schedules.as_ref().map(|s| scenario::PathSchedule {
+            steps: s[k]
+                .steps
+                .iter()
+                .map(|st| scenario::LiveStep {
+                    at: st.at.div_f64(f),
+                    ..*st
+                })
+                .collect(),
+        });
+        emus.push(
+            PathEmulator::spawn_scripted(dilated, client_addrs[k], exp.seed ^ k as u64, schedule)
+                .await?,
+        );
     }
     let addrs: Vec<_> = emus.iter().map(|e| e.addr()).collect();
     let cfg = LiveConfig {
@@ -151,6 +178,21 @@ pub async fn run_experiment(exp: &LiveExperiment, taus_s: &[f64]) -> std::io::Re
     if f != 1.0 {
         output.trace = undilate_trace(&output.trace, exp.video, f);
         output.elapsed = output.elapsed.mul_f64(f);
+    }
+    // Surface what each emulated path actually applied (rate/delay/down
+    // timeline) for the artifact sidecars, rescaled to nominal time.
+    for (k, emu) in emus.iter().enumerate() {
+        let timeline: Vec<_> = emu
+            .timeline()
+            .into_iter()
+            .map(|p| crate::emulator::AppliedPoint {
+                t: p.t.mul_f64(f),
+                rate_bps: p.rate_bps / f,
+                delay: p.delay.mul_f64(f),
+                down: p.down,
+            })
+            .collect();
+        crate::telemetry::record_timeline(format!("seed{}-path{k}", exp.seed), timeline);
     }
     let report = LatenessReport::from_trace(&output.trace, taus_s);
     let est_paths = (0..exp.paths.len())
@@ -191,6 +233,7 @@ mod tests {
             send_buf_bytes: 16 * 1024,
             seed: 3,
             time_dilation: 1.0,
+            schedules: None,
         }
     }
 

@@ -14,15 +14,18 @@
 //! * [`stream`] — server (shared queue + per-path sender tasks) and client
 //!   (per-path readers recording a delivery trace);
 //! * [`experiment`] — the Fig. 7 validation harness: run, measure late
-//!   fractions, estimate effective path parameters, compare to the model.
+//!   fractions, estimate effective path parameters, compare to the model;
+//! * [`telemetry`] — a process-wide registry of the shaping timelines each
+//!   emulated path actually applied, drained into artifact sidecars.
 
 #![warn(missing_docs)]
 
 pub mod emulator;
 pub mod experiment;
 pub mod stream;
+pub mod telemetry;
 pub mod wire;
 
-pub use emulator::{PathEmulator, PathProfile};
+pub use emulator::{AppliedPoint, PathEmulator, PathProfile};
 pub use experiment::{model_prediction, run_experiment, LiveExperiment, LiveRun};
 pub use stream::{run_stream, LiveConfig, LiveOutput};

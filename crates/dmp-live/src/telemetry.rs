@@ -1,0 +1,48 @@
+//! Process-wide registry of applied path timelines.
+//!
+//! Live experiments run inside worker jobs that only return compact
+//! summaries; the emulator timelines ([`crate::emulator::AppliedPoint`]) are
+//! side-band evidence of what each emulated path actually did. Experiments
+//! register them here and the bench harness drains the registry into the
+//! artifact's `.meta.json` sidecar.
+
+use parking_lot::Mutex;
+
+use crate::emulator::AppliedPoint;
+
+static REGISTRY: Mutex<Vec<(String, Vec<AppliedPoint>)>> = Mutex::new(Vec::new());
+
+/// Register one path's applied timeline under a label (e.g.
+/// `"seed3-path0"`). Timestamps should already be in nominal (undilated)
+/// time.
+pub fn record_timeline(label: impl Into<String>, timeline: Vec<AppliedPoint>) {
+    REGISTRY.lock().push((label.into(), timeline));
+}
+
+/// Take every registered timeline, leaving the registry empty.
+pub fn drain_timelines() -> Vec<(String, Vec<AppliedPoint>)> {
+    std::mem::take(&mut *REGISTRY.lock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn record_and_drain() {
+        record_timeline(
+            "t0",
+            vec![AppliedPoint {
+                t: Duration::ZERO,
+                rate_bps: 1e6,
+                delay: Duration::from_millis(20),
+                down: false,
+            }],
+        );
+        let drained = drain_timelines();
+        assert!(drained.iter().any(|(l, tl)| l == "t0" && tl.len() == 1));
+        // Drained means gone (other tests may interleave, so only check t0).
+        assert!(!drain_timelines().iter().any(|(l, _)| l == "t0"));
+    }
+}

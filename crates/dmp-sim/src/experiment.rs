@@ -4,14 +4,16 @@
 //! of Tables 2 and 3).
 
 use dmp_core::metrics::{LateFractions, LatenessReport};
+use dmp_core::resilience::{ResilienceReport, ResilienceSpec};
 use dmp_core::spec::{PathSpec, SchedulerKind};
 use dmp_core::stats::OnlineStats;
 use dmp_core::trace::StreamTrace;
 use dmp_runner::{JobSpec, Json, JsonCodec};
 use netsim::{secs, EngineKind, Sim};
+use scenario::{PathBinding, Scenario, ScenarioDriver};
 
 use crate::configs::{config, Setting};
-use crate::topology::{attach_background, build_correlated, video_tcp, Topology};
+use crate::topology::{attach_background, build_correlated_scenario, video_tcp, Topology};
 use crate::video::{shared_trace, DmpServer, StaticServer, VideoClient};
 
 /// Specification of one simulation run.
@@ -40,6 +42,10 @@ pub struct ExperimentSpec {
     /// the choice is part of the cache key so differential runs never serve
     /// each other's cached summaries.
     pub engine: EngineKind,
+    /// Scripted path dynamics replayed during the run (empty = steady-state,
+    /// exactly the paper's setups). Event times are relative to the start of
+    /// the video, i.e. `warmup_s` is added on top.
+    pub scenario: Scenario,
     /// RNG seed.
     pub seed: u64,
 }
@@ -57,6 +63,7 @@ impl ExperimentSpec {
             red: false,
             video_flavor: netsim::tcp::TcpFlavor::Reno,
             engine: EngineKind::default(),
+            scenario: Scenario::default(),
             seed,
         }
     }
@@ -67,12 +74,19 @@ impl ExperimentSpec {
     /// content-addressed caching. Every field that influences the simulation
     /// appears (via `Debug`, which round-trips `f64` exactly); the leading
     /// version tag invalidates old entries if the representation or the
-    /// simulation semantics change.
+    /// simulation semantics change. The scenario's stable hash is appended
+    /// explicitly (`scenario#<hex>`), so two runs with different fault
+    /// scripts can never be served each other's cached results.
     pub fn config_repr(&self) -> String {
         // v2: lazy timer-event deferral changed event sequence numbers (and
         // therefore tie-break order) relative to v1, and the spec gained the
         // `engine` field.
-        format!("dmp-sim/v2/{self:?}")
+        // v3: the spec gained the `scenario` field and topologies gained
+        // flash-flow provisioning.
+        format!(
+            "dmp-sim/v3/{self:?}/scenario#{:016x}",
+            self.scenario.stable_hash()
+        )
     }
 }
 
@@ -116,15 +130,35 @@ pub fn run(spec: &ExperimentSpec) -> RunOutput {
         SchedulerKind::SinglePath => 1,
         _ => 2,
     };
+    spec.scenario
+        .validate(k)
+        .expect("scenario does not fit this experiment's path count");
+    let flash_per_path: Vec<usize> = (0..k).map(|p| spec.scenario.flash_flows_for(p)).collect();
+
     let mut sim = Sim::with_engine(spec.seed, spec.engine);
     let mut video_cfg = video_tcp(setting.video.packet_bytes, spec.send_buf_pkts);
     video_cfg.flavor = spec.video_flavor;
 
     let topo: Topology = if setting.correlated {
-        build_correlated(&mut sim, config(setting.configs[0]), k, video_cfg)
+        // Correlated paths share one bottleneck: provision the union of all
+        // paths' flash crowds on it.
+        let flash_total: usize = flash_per_path.iter().sum();
+        build_correlated_scenario(
+            &mut sim,
+            config(setting.configs[0]),
+            k,
+            video_cfg,
+            flash_total,
+        )
     } else {
         let cfgs: Vec<_> = (0..k).map(|i| config(setting.configs[i])).collect();
-        crate::topology::build_independent_with(&mut sim, &cfgs, video_cfg, spec.red)
+        crate::topology::build_independent_scenario(
+            &mut sim,
+            &cfgs,
+            video_cfg,
+            spec.red,
+            &flash_per_path,
+        )
     };
     let cfgs: Vec<_> = if setting.correlated {
         vec![config(setting.configs[0])]
@@ -132,6 +166,36 @@ pub fn run(spec: &ExperimentSpec) -> RunOutput {
         (0..k).map(|i| config(setting.configs[i])).collect()
     };
     attach_background(&mut sim, &topo, &cfgs, spec.seed);
+
+    if !spec.scenario.is_empty() {
+        // On correlated topologies every path shares one flash-flow pool;
+        // hand out disjoint slices so concurrent crowds don't collide.
+        let mut flash_cursor = topo.paths[0].first_flash_flow;
+        let bindings: Vec<PathBinding> = topo
+            .paths
+            .iter()
+            .enumerate()
+            .map(|(p, h)| {
+                let n = flash_per_path[p] as u32;
+                let first = if setting.correlated {
+                    let f = flash_cursor;
+                    flash_cursor += n;
+                    f
+                } else {
+                    h.first_flash_flow
+                };
+                PathBinding {
+                    links: vec![h.bottleneck, h.bottleneck_rev],
+                    flash_flows: (first..first + n).collect(),
+                }
+            })
+            .collect();
+        sim.add_app(Box::new(ScenarioDriver::new(
+            &spec.scenario,
+            bindings,
+            secs(spec.warmup_s),
+        )));
+    }
 
     let end = secs(spec.warmup_s + spec.duration_s);
     let trace = shared_trace(setting.video, end);
@@ -275,6 +339,117 @@ pub fn run_summary(spec: &ExperimentSpec, taus_s: &[f64]) -> RunSummary {
         paths: out.paths,
         per_tau: report.per_tau,
     }
+}
+
+/// A [`RunSummary`] plus resilience metrics — what scenario experiments
+/// cache per run.
+#[derive(Debug, Clone)]
+pub struct ScenarioSummary {
+    /// The ordinary lateness/path summary.
+    pub summary: RunSummary,
+    /// Glitch/recovery metrics at the scenario's evaluation τ.
+    pub resilience: ResilienceReport,
+}
+
+impl JsonCodec for ScenarioSummary {
+    fn to_json(&self) -> Json {
+        let r = &self.resilience;
+        Json::obj([
+            ("summary", self.summary.to_json()),
+            (
+                "resilience",
+                Json::obj([
+                    ("tau_s", Json::Num(r.tau_s)),
+                    ("glitch_count", Json::Num(r.glitch_count as f64)),
+                    ("total_glitch_s", Json::Num(r.total_glitch_s)),
+                    ("max_glitch_s", Json::Num(r.max_glitch_s)),
+                    ("worst_window_late", Json::Num(r.worst_window_late)),
+                    ("worst_window_start_s", Json::Num(r.worst_window_start_s)),
+                    (
+                        "time_to_recover_s",
+                        r.time_to_recover_s.map_or(Json::Null, Json::Num),
+                    ),
+                    ("recovered", Json::Bool(r.recovered)),
+                ]),
+            ),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Option<Self> {
+        let summary = RunSummary::from_json(json.get("summary")?)?;
+        let r = json.get("resilience")?;
+        let resilience = ResilienceReport {
+            tau_s: r.get("tau_s")?.as_f64()?,
+            glitch_count: r.get("glitch_count")?.as_f64()? as u64,
+            total_glitch_s: r.get("total_glitch_s")?.as_f64()?,
+            max_glitch_s: r.get("max_glitch_s")?.as_f64()?,
+            worst_window_late: r.get("worst_window_late")?.as_f64()?,
+            worst_window_start_s: r.get("worst_window_start_s")?.as_f64()?,
+            time_to_recover_s: match r.get("time_to_recover_s")? {
+                Json::Null => None,
+                v => Some(v.as_f64()?),
+            },
+            recovered: r.get("recovered")?.as_bool()?,
+        };
+        Some(Self {
+            summary,
+            resilience,
+        })
+    }
+}
+
+/// Run one experiment and evaluate both lateness and resilience.
+///
+/// `resilience.fail_at_s` is interpreted on the scenario clock (seconds after
+/// video start) and shifted by `spec.warmup_s` internally, matching how the
+/// trace records generation times.
+pub fn run_scenario_summary(
+    spec: &ExperimentSpec,
+    taus_s: &[f64],
+    resilience: ResilienceSpec,
+) -> ScenarioSummary {
+    let out = run(spec);
+    let report = LatenessReport::from_trace(&out.trace, taus_s);
+    let shifted = ResilienceSpec {
+        fail_at_s: resilience.fail_at_s.map(|t| t + spec.warmup_s),
+        ..resilience
+    };
+    let records = out.trace.stable_records(resilience.tau_s);
+    let res = ResilienceReport::from_records(records, spec.setting.video.rate_pps, shifted);
+    ScenarioSummary {
+        summary: RunSummary {
+            paths: out.paths,
+            per_tau: report.per_tau,
+        },
+        resilience: res,
+    }
+}
+
+/// Like [`batch_jobs`], but for scenario experiments: each job returns a
+/// [`ScenarioSummary`]. The τ grid and the resilience spec are both part of
+/// the cache key (the scenario itself already is, via
+/// [`ExperimentSpec::config_repr`]).
+pub fn scenario_batch_jobs(
+    spec: &ExperimentSpec,
+    runs: usize,
+    taus_s: &[f64],
+    resilience: ResilienceSpec,
+) -> Vec<JobSpec<ScenarioSummary>> {
+    (0..runs)
+        .map(|i| {
+            let mut s = spec.clone();
+            s.seed = spec.seed.wrapping_add(i as u64);
+            let taus: Vec<f64> = taus_s.to_vec();
+            let config_repr = format!("{}/taus{:?}/res{:?}", s.config_repr(), taus, resilience);
+            let label = format!(
+                "scn:{}:{}:{:?}:run{}",
+                spec.scenario.name, spec.setting.name, spec.scheduler, i
+            );
+            JobSpec::new(label, config_repr, s.seed, move || {
+                run_scenario_summary(&s, &taus, resilience)
+            })
+        })
+        .collect()
 }
 
 /// Build one cacheable [`JobSpec`] per replication of `spec` (seeds
@@ -471,6 +646,90 @@ mod tests {
             assert_eq!(a.playback_order, b.playback_order);
             assert_eq!(a.total, b.total);
         }
+    }
+
+    #[test]
+    fn noop_scenario_matches_scenario_free_run() {
+        // A named-but-empty scenario changes the cache key, not the results.
+        let base = quick_spec("2-2", SchedulerKind::Dynamic, 41);
+        let mut noop = base.clone();
+        noop.scenario = Scenario::named("noop");
+        assert_ne!(base.config_repr(), noop.config_repr());
+        let a = run_summary(&base, &[2.0, 6.0]);
+        let b = run_summary(&noop, &[2.0, 6.0]);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn identity_rate_step_is_behavior_neutral() {
+        // A RateStep{1.0} attaches the driver and injects real AppTimer
+        // events; they shift `event_seq` but must not change any outcome.
+        let base = quick_spec("2-2", SchedulerKind::Dynamic, 43);
+        let mut ident = base.clone();
+        ident.scenario = Scenario::named("ident")
+            .at(30.0, 0, scenario::Event::RateStep { factor: 1.0 })
+            .at(60.0, 1, scenario::Event::RateStep { factor: 1.0 });
+        let a = run_summary(&base, &[2.0, 6.0]);
+        let b = run_summary(&ident, &[2.0, 6.0]);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn scripted_failure_hurts_single_path_but_dmp_recovers() {
+        let fail_at = 40.0;
+        let scn = Scenario::named("failover")
+            .at(fail_at, 0, scenario::Event::PathDown)
+            .at(fail_at + 15.0, 0, scenario::Event::PathUp);
+        let res = ResilienceSpec {
+            tau_s: 4.0,
+            window_s: 10.0,
+            fail_at_s: Some(fail_at),
+        };
+
+        let mut single = quick_spec("2-2", SchedulerKind::SinglePath, 47);
+        single.scenario = scn.clone();
+        let s = run_scenario_summary(&single, &[4.0], res);
+        assert!(
+            s.resilience.worst_window_late > 0.9,
+            "single path should collapse during the outage: {:?}",
+            s.resilience
+        );
+
+        let mut dmp = quick_spec("2-2", SchedulerKind::Dynamic, 47);
+        dmp.scenario = scn;
+        let d = run_scenario_summary(&dmp, &[4.0], res);
+        assert!(
+            d.resilience.recovered,
+            "DMP should recover after the outage: {:?}",
+            d.resilience
+        );
+        assert!(
+            d.resilience.total_glitch_s < s.resilience.total_glitch_s,
+            "DMP should stall less than single path: {:?} vs {:?}",
+            d.resilience,
+            s.resilience
+        );
+    }
+
+    #[test]
+    fn scenario_summary_json_roundtrip() {
+        let mut spec = quick_spec("2-2", SchedulerKind::Dynamic, 53);
+        spec.duration_s = 30.0;
+        spec.scenario =
+            Scenario::named("rt").at(10.0, 0, scenario::Event::RateStep { factor: 0.5 });
+        let res = ResilienceSpec {
+            fail_at_s: Some(10.0),
+            ..ResilienceSpec::default()
+        };
+        let summary = run_scenario_summary(&spec, &[2.0, 6.0], res);
+        let json = summary.to_json();
+        let back = ScenarioSummary::from_json(&dmp_runner::json::parse(&json.render()).unwrap())
+            .expect("roundtrip");
+        assert_eq!(
+            format!("{:?}", summary.resilience),
+            format!("{:?}", back.resilience)
+        );
+        assert_eq!(summary.summary.paths.len(), back.summary.paths.len());
     }
 
     #[test]

@@ -23,10 +23,17 @@ pub struct PathHandles {
     pub video_flow: FlowId,
     /// Forward bottleneck link (for queue statistics).
     pub bottleneck: netsim::LinkId,
+    /// Reverse bottleneck link (so scenario faults can cut both directions).
+    pub bottleneck_rev: netsim::LinkId,
     /// Background flows crossing this bottleneck.
     pub first_bg_flow: FlowId,
     /// Number of background flows.
     pub bg_flows: usize,
+    /// First pre-provisioned flash-crowd flow (idle until a scenario starts
+    /// it); meaningless when `flash_flows == 0`.
+    pub first_flash_flow: FlowId,
+    /// Number of pre-provisioned flash-crowd flows.
+    pub flash_flows: usize,
 }
 
 /// A built validation topology.
@@ -62,6 +69,7 @@ pub fn video_tcp(packet_bytes: u32, send_buf_pkts: usize) -> TcpConfig {
 
 /// Build one path's infrastructure (routers, bottleneck, background hosts &
 /// flows) between `server` and a fresh client node. Returns the handles.
+#[allow(clippy::too_many_arguments)]
 fn build_path(
     sim: &mut Sim,
     server: NodeId,
@@ -70,6 +78,7 @@ fn build_path(
     video_flows: usize,
     video_tcp_cfg: TcpConfig,
     red: bool,
+    flash_flows: usize,
 ) -> Vec<PathHandles> {
     let r1 = sim.add_node(format!("r{}1", cfg.id));
     let r2 = sim.add_node(format!("r{}2", cfg.id));
@@ -120,8 +129,11 @@ fn build_path(
         handles.push(PathHandles {
             video_flow,
             bottleneck: r1_r2,
+            bottleneck_rev: r2_r1,
             first_bg_flow: 0, // patched below
             bg_flows: bg_total,
+            first_flash_flow: 0, // patched below
+            flash_flows,
         });
     }
 
@@ -139,8 +151,18 @@ fn build_path(
         first_bg.get_or_insert(f);
     }
     let first_bg = first_bg.unwrap_or(0);
+    // Flash-crowd flows: same hosts and TCP config as the background FTPs,
+    // but idle until a scenario back-logs them mid-run.
+    let mut first_flash = None;
+    for i in 0..flash_flows {
+        let (bg_src, bg_dst) = bg_pairs[i % bg_pairs.len()];
+        let f = sim.add_flow(bg_src, bg_dst, bg_tcp, SinkConfig::default());
+        first_flash.get_or_insert(f);
+    }
+    let first_flash = first_flash.unwrap_or(0);
     for h in &mut handles {
         h.first_bg_flow = first_bg;
+        h.first_flash_flow = first_flash;
     }
     handles
 }
@@ -163,12 +185,27 @@ pub fn build_independent_with(
     video_tcp_cfg: TcpConfig,
     red: bool,
 ) -> Topology {
+    build_independent_scenario(sim, cfgs, video_tcp_cfg, red, &[])
+}
+
+/// [`build_independent_with`] plus pre-provisioned flash-crowd flows:
+/// `flash_per_path[k]` idle TCP flows are created across path `k`'s
+/// bottleneck (missing entries mean zero), for a scenario to start mid-run.
+pub fn build_independent_scenario(
+    sim: &mut Sim,
+    cfgs: &[&BottleneckConfig],
+    video_tcp_cfg: TcpConfig,
+    red: bool,
+    flash_per_path: &[usize],
+) -> Topology {
     let server = sim.add_node("video-server");
     let mut clients = Vec::new();
     let mut paths = Vec::new();
     for cfg in cfgs {
-        let client = sim.add_node(format!("client{}", paths.len() + 1));
-        let hs = build_path(sim, server, client, cfg, 1, video_tcp_cfg, red);
+        let k = paths.len();
+        let client = sim.add_node(format!("client{}", k + 1));
+        let flash = flash_per_path.get(k).copied().unwrap_or(0);
+        let hs = build_path(sim, server, client, cfg, 1, video_tcp_cfg, red, flash);
         paths.extend(hs);
         clients.push(client);
     }
@@ -187,9 +224,31 @@ pub fn build_correlated(
     k_flows: usize,
     video_tcp_cfg: TcpConfig,
 ) -> Topology {
+    build_correlated_scenario(sim, cfg, k_flows, video_tcp_cfg, 0)
+}
+
+/// [`build_correlated`] plus `flash_flows` pre-provisioned idle flash-crowd
+/// flows across the shared bottleneck (every path handle reports the same
+/// set, since correlated paths share their infrastructure).
+pub fn build_correlated_scenario(
+    sim: &mut Sim,
+    cfg: &BottleneckConfig,
+    k_flows: usize,
+    video_tcp_cfg: TcpConfig,
+    flash_flows: usize,
+) -> Topology {
     let server = sim.add_node("video-server");
     let client = sim.add_node("client");
-    let paths = build_path(sim, server, client, cfg, k_flows, video_tcp_cfg, false);
+    let paths = build_path(
+        sim,
+        server,
+        client,
+        cfg,
+        k_flows,
+        video_tcp_cfg,
+        false,
+        flash_flows,
+    );
     Topology {
         server,
         clients: vec![client],

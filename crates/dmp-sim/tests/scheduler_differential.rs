@@ -14,11 +14,13 @@ use dmp_runner::{Cache, JsonCodec, Runner};
 use dmp_sim::configs::{CORRELATED, HETEROGENEOUS, HOMOGENEOUS};
 use dmp_sim::experiment::{batch_jobs, ExperimentSpec, RunSummary};
 use netsim::EngineKind;
+use scenario::Scenario;
 
-/// One shortened replication of every setting with the given engine,
-/// executed through the runner (so the content-addressed cache, when
-/// enabled, is exercised with engine-tagged keys), rendered to JSON bytes.
-fn all_settings_rendered(engine: EngineKind) -> Vec<(String, String)> {
+/// One shortened replication of every setting with the given engine and
+/// scenario, executed through the runner (so the content-addressed cache,
+/// when enabled, is exercised with engine- and scenario-tagged keys),
+/// rendered to JSON bytes.
+fn all_settings_rendered(engine: EngineKind, scenario: &Scenario) -> Vec<(String, String)> {
     let runner = Runner::new(1, Cache::from_env()).with_progress(false);
     let mut jobs = Vec::new();
     let mut names = Vec::new();
@@ -26,6 +28,7 @@ fn all_settings_rendered(engine: EngineKind) -> Vec<(String, String)> {
         let mut spec = ExperimentSpec::new(*s, SchedulerKind::Dynamic, 60.0, 2007);
         spec.warmup_s = 10.0;
         spec.engine = engine;
+        spec.scenario = scenario.clone();
         names.push(s.name.to_string());
         jobs.extend(batch_jobs(&spec, 1, &[2.0, 6.0]));
     }
@@ -42,8 +45,8 @@ fn all_settings_rendered(engine: EngineKind) -> Vec<(String, String)> {
 
 #[test]
 fn calendar_queue_matches_heap_reference_on_every_setting() {
-    let heap = all_settings_rendered(EngineKind::Heap);
-    let calendar = all_settings_rendered(EngineKind::Calendar);
+    let heap = all_settings_rendered(EngineKind::Heap, &Scenario::default());
+    let calendar = all_settings_rendered(EngineKind::Calendar, &Scenario::default());
     assert_eq!(heap.len(), 12);
     for ((name_h, bytes_h), (name_c, bytes_c)) in heap.iter().zip(&calendar) {
         assert_eq!(name_h, name_c);
@@ -51,5 +54,25 @@ fn calendar_queue_matches_heap_reference_on_every_setting() {
             bytes_h, bytes_c,
             "setting {name_h}: calendar-queue artifact diverges from the heap reference"
         );
+    }
+}
+
+/// A named-but-empty scenario takes a different cache key (so it never
+/// collides with the scenario-free baseline) but must not perturb a single
+/// byte of any rendered artifact, under either engine.
+#[test]
+fn noop_scenario_is_byte_identical_to_baseline_on_every_setting() {
+    let noop = Scenario::named("noop");
+    for engine in [EngineKind::Calendar, EngineKind::Heap] {
+        let baseline = all_settings_rendered(engine, &Scenario::default());
+        let scripted = all_settings_rendered(engine, &noop);
+        assert_eq!(baseline.len(), 12);
+        for ((name_b, bytes_b), (name_s, bytes_s)) in baseline.iter().zip(&scripted) {
+            assert_eq!(name_b, name_s);
+            assert_eq!(
+                bytes_b, bytes_s,
+                "setting {name_b} ({engine:?}): a no-op scenario changed the artifact"
+            );
+        }
     }
 }

@@ -76,6 +76,12 @@ pub struct LinkStats {
     pub dropped: u64,
     /// Data packets dropped (subset of `dropped`).
     pub data_dropped: u64,
+    /// Packets dropped by the Bernoulli random-loss process (subset of
+    /// `dropped`).
+    pub random_dropped: u64,
+    /// Packets dropped because the link was administratively down, including
+    /// queued packets flushed when it went down (subset of `dropped`).
+    pub admin_dropped: u64,
     /// Bytes transmitted.
     pub bytes_tx: u64,
     /// Peak queue occupancy observed.
@@ -103,13 +109,17 @@ impl LinkStats {
 /// transmission-done event, `tx_done` hands back the next packet to send.
 #[derive(Debug)]
 pub struct Link {
-    /// Static parameters.
+    /// Static parameters. Mutable at runtime through the `set_*` methods
+    /// (fault injection / path dynamics); rate and delay changes apply to
+    /// packets that *start* transmission afterwards, never to packets already
+    /// being serialised or in flight.
     pub spec: LinkSpec,
     /// Node at the transmitting end (used to validate routing tables).
     pub from: NodeId,
     /// Node at the receiving end.
     pub to: NodeId,
     busy: bool,
+    admin_down: bool,
     q: VecDeque<Packet>,
     red: Option<RedState>,
     /// Statistics.
@@ -135,6 +145,7 @@ impl Link {
             from,
             to,
             busy: false,
+            admin_down: false,
             q: VecDeque::new(),
             red: spec.red.map(RedState::new),
             stats: LinkStats::default(),
@@ -146,8 +157,17 @@ impl Link {
     pub fn offer(&mut self, pkt: Packet, rng: &mut impl Rng) -> Offer {
         self.stats.queue_len_sum += self.q.len() as u64;
         self.stats.queue_samples += 1;
+        if self.admin_down {
+            self.stats.dropped += 1;
+            self.stats.admin_dropped += 1;
+            if pkt.kind == PacketKind::Data {
+                self.stats.data_dropped += 1;
+            }
+            return Offer::Dropped(pkt);
+        }
         if self.spec.random_loss > 0.0 && rng.gen_range(0.0..1.0) < self.spec.random_loss {
             self.stats.dropped += 1;
+            self.stats.random_dropped += 1;
             if pkt.kind == PacketKind::Data {
                 self.stats.data_dropped += 1;
             }
@@ -195,6 +215,57 @@ impl Link {
                 None
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Runtime mutation (fault injection / path dynamics)
+    // ------------------------------------------------------------------
+
+    /// Change the transmission rate. Applies to packets that start
+    /// serialising after the call; the packet on the wire (if any) finishes
+    /// at the old rate.
+    pub fn set_bandwidth_bps(&mut self, bps: f64) {
+        assert!(bps > 0.0, "bandwidth must be positive (got {bps})");
+        self.spec.bandwidth_bps = bps;
+    }
+
+    /// Change the propagation delay. Applies to packets that start
+    /// serialising after the call; packets already in flight keep their old
+    /// arrival time (no reordering on the wire).
+    pub fn set_delay(&mut self, delay: SimTime) {
+        self.spec.delay = delay;
+    }
+
+    /// Change the Bernoulli random-loss probability.
+    pub fn set_random_loss(&mut self, p: f64) {
+        assert!((0.0..1.0).contains(&p), "loss must be in [0,1) (got {p})");
+        self.spec.random_loss = p;
+    }
+
+    /// Administratively down (or up) the link. Going down flushes the queue
+    /// and returns the flushed packets so the caller can account per-flow
+    /// drops; while down every offered packet is dropped. The packet being
+    /// serialised (if any) completes and propagates — as on a real link where
+    /// bits already on the wire still arrive. Going up returns an empty Vec.
+    pub fn set_admin_down(&mut self, down: bool) -> Vec<Packet> {
+        self.admin_down = down;
+        if !down {
+            return Vec::new();
+        }
+        let flushed: Vec<Packet> = self.q.drain(..).collect();
+        for pkt in &flushed {
+            self.stats.dropped += 1;
+            self.stats.admin_dropped += 1;
+            if pkt.kind == PacketKind::Data {
+                self.stats.data_dropped += 1;
+            }
+        }
+        flushed
+    }
+
+    /// Is the link administratively down?
+    pub fn is_admin_down(&self) -> bool {
+        self.admin_down
     }
 
     /// Packets currently queued (excluding the one in transmission).
@@ -284,6 +355,48 @@ mod tests {
             l.offer(pkt(i), &mut rng());
         }
         assert_eq!(l.stats.peak_queue, 4);
+    }
+
+    #[test]
+    fn admin_down_flushes_queue_and_blackholes_offers() {
+        let mut l = link(5);
+        assert!(matches!(l.offer(pkt(0), &mut rng()), Offer::StartTx(_)));
+        l.offer(pkt(1), &mut rng());
+        l.offer(pkt(2), &mut rng());
+        let flushed = l.set_admin_down(true);
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(l.queue_len(), 0);
+        assert_eq!(l.stats.admin_dropped, 2);
+        // The packet on the wire completes; nothing follows it.
+        assert!(matches!(l.offer(pkt(3), &mut rng()), Offer::Dropped(_)));
+        assert_eq!(l.tx_done(), None);
+        assert!(!l.is_busy());
+        // Back up: traffic flows again.
+        assert!(l.set_admin_down(false).is_empty());
+        assert!(matches!(l.offer(pkt(4), &mut rng()), Offer::StartTx(_)));
+    }
+
+    #[test]
+    fn rate_and_delay_changes_apply_to_future_transmissions() {
+        let mut l = link(5);
+        assert_eq!(l.spec.tx_time(1500), 12_000_000); // 1 Mbps
+        l.set_bandwidth_bps(2e6);
+        assert_eq!(l.spec.tx_time(1500), 6_000_000);
+        l.set_delay(crate::time::millis(55.0));
+        assert_eq!(l.spec.delay, crate::time::millis(55.0));
+        l.set_random_loss(0.5);
+        let mut r = rng();
+        let mut dropped = 0;
+        for i in 0..1000 {
+            if matches!(l.offer(pkt(i), &mut r), Offer::Dropped(_)) {
+                dropped += 1;
+            }
+            while l.is_busy() {
+                l.tx_done();
+            }
+        }
+        assert!((400..600).contains(&dropped), "dropped {dropped}");
+        assert_eq!(l.stats.random_dropped, dropped);
     }
 
     #[test]

@@ -89,6 +89,8 @@ pub struct SimCounters {
     pub far_hwm: u64,
     /// Peak packet-slab occupancy.
     pub slab_hwm: u64,
+    /// Packets dropped by per-link Bernoulli random loss (fault injection).
+    pub random_loss_drops: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -260,6 +262,7 @@ impl Sim {
             wheel_hwm: hwm.wheel,
             far_hwm: hwm.far,
             slab_hwm: self.pkts.hwm() as u64,
+            random_loss_drops: self.links.iter().map(|l| l.stats.random_dropped).sum(),
         }
     }
 
@@ -633,6 +636,53 @@ impl SimApi<'_> {
     pub fn sender(&self, flow: FlowId) -> &TcpSender {
         self.sim.sender(flow)
     }
+
+    // ------------------------------------------------------------------
+    // Link mutation (fault injection / path dynamics). Scheduled from an
+    // app timer these become ordinary engine events, so scripted scenarios
+    // stay byte-identical across scheduler implementations.
+    // ------------------------------------------------------------------
+
+    /// Current spec of `link` (base values for relative scenario factors).
+    pub fn link_spec(&self, link: LinkId) -> LinkSpec {
+        self.sim.links[link as usize].spec
+    }
+
+    /// Change `link`'s transmission rate; applies to future transmissions.
+    pub fn set_link_rate(&mut self, link: LinkId, bps: f64) {
+        self.sim.links[link as usize].set_bandwidth_bps(bps);
+    }
+
+    /// Change `link`'s propagation delay; applies to future transmissions.
+    pub fn set_link_delay(&mut self, link: LinkId, delay: SimTime) {
+        self.sim.links[link as usize].set_delay(delay);
+    }
+
+    /// Change `link`'s Bernoulli random-loss probability.
+    pub fn set_link_loss(&mut self, link: LinkId, p: f64) {
+        self.sim.links[link as usize].set_random_loss(p);
+    }
+
+    /// Administratively down `link`: flush its queue (the flushed packets are
+    /// charged to their flows' drop counters) and blackhole every packet
+    /// offered until [`SimApi::set_link_up`]. The packet being serialised
+    /// still arrives, as on a real link failure.
+    pub fn set_link_down(&mut self, link: LinkId) {
+        let flushed = self.sim.links[link as usize].set_admin_down(true);
+        for pkt in flushed {
+            let c = &mut self.sim.flow_counters[pkt.flow as usize];
+            match pkt.kind {
+                PacketKind::Data => c.data_dropped += 1,
+                PacketKind::Ack => c.acks_dropped += 1,
+            }
+        }
+    }
+
+    /// Bring an administratively-downed `link` back up.
+    pub fn set_link_up(&mut self, link: LinkId) {
+        let flushed = self.sim.links[link as usize].set_admin_down(false);
+        debug_assert!(flushed.is_empty());
+    }
 }
 
 #[cfg(test)]
@@ -817,6 +867,109 @@ mod tests {
             )
         };
         assert_eq!(run(EngineKind::Heap), run(EngineKind::Calendar));
+    }
+
+    #[test]
+    fn zero_random_loss_is_byte_identical_to_no_knob() {
+        // The Bernoulli loss process must consume no RNG when p = 0, so a
+        // link configured with `.with_random_loss(0.0)` is indistinguishable
+        // from one that never heard of the knob: same deliveries, same drop
+        // pattern, same event count.
+        let run = |zero_loss_knob: bool| {
+            let mut sim = Sim::new(11);
+            let a = sim.add_node("a");
+            let b = sim.add_node("b");
+            let mut spec = LinkSpec::from_table(2.0, 20.0, 10);
+            if zero_loss_knob {
+                spec = spec.with_random_loss(0.0);
+            }
+            let (f, r) = sim.add_duplex(a, b, spec);
+            sim.add_route(a, b, f);
+            sim.add_route(b, a, r);
+            let flow = sim.add_flow(a, b, TcpConfig::default(), SinkConfig::default());
+            sim.add_app(Box::new(FtpStarter { flow }));
+            sim.run_until(60 * SECOND);
+            (
+                sim.sink(flow).stats.delivered,
+                sim.sender(flow).stats.retransmits,
+                sim.flow_counters(flow).data_dropped,
+                sim.events_processed(),
+                sim.counters().random_loss_drops,
+            )
+        };
+        let (without, with) = (run(false), run(true));
+        assert_eq!(without, with);
+        assert_eq!(with.4, 0, "p = 0 must never drop");
+    }
+
+    #[test]
+    fn link_mutation_hooks_reshape_a_running_flow() {
+        // An app timer downs the bottleneck mid-run, then restores it at a
+        // lower rate: delivery must stall during the outage and resume after.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct Mutator {
+            fwd: LinkId,
+            rev: LinkId,
+            flow: FlowId,
+            delivered_at: Rc<RefCell<Vec<u64>>>,
+        }
+        impl App for Mutator {
+            fn start(&mut self, api: &mut SimApi<'_>) {
+                api.schedule_in(10 * SECOND, 0); // down
+                api.schedule_in(16 * SECOND, 1); // up at half rate
+                api.schedule_in(15 * SECOND, 2); // sample mid-outage
+                api.schedule_in(36 * SECOND, 3); // sample after recovery
+            }
+            fn on_timer(&mut self, api: &mut SimApi<'_>, tag: u64) {
+                match tag {
+                    0 => {
+                        api.set_link_down(self.fwd);
+                        api.set_link_down(self.rev);
+                    }
+                    1 => {
+                        let base = api.link_spec(self.fwd).bandwidth_bps;
+                        api.set_link_up(self.fwd);
+                        api.set_link_up(self.rev);
+                        api.set_link_rate(self.fwd, base / 2.0);
+                        api.set_link_delay(self.fwd, millis(40.0));
+                    }
+                    _ => {
+                        let d = api.sender(self.flow).acked();
+                        self.delivered_at.borrow_mut().push(d);
+                    }
+                }
+            }
+        }
+        let mut sim = Sim::new(3);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        let (f, r) = sim.add_duplex(a, b, LinkSpec::from_table(2.0, 20.0, 30));
+        sim.add_route(a, b, f);
+        sim.add_route(b, a, r);
+        let flow = sim.add_flow(a, b, TcpConfig::default(), SinkConfig::default());
+        sim.add_app(Box::new(FtpStarter { flow }));
+        let delivered_at = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(Box::new(Mutator {
+            fwd: f,
+            rev: r,
+            flow,
+            delivered_at: Rc::clone(&delivered_at),
+        }));
+        sim.run_until(40 * SECOND);
+        let samples = delivered_at.borrow();
+        let at_10s_rate = samples[0]; // acked by t=15 (outage began at 10)
+        let after = samples[1]; // acked by t=36 (the outage ended at 16)
+                                // Progress after recovery (the RTO backoff delays the first
+                                // successful retransmit), but at a visibly reduced pace (half rate).
+        assert!(after > at_10s_rate + 400, "no recovery: {samples:?}");
+        let full_rate_pps = 167.0; // 2 Mbps / 1500 B
+        let resumed_pps = (after - at_10s_rate) as f64 / 21.0;
+        assert!(
+            resumed_pps < 0.75 * full_rate_pps,
+            "rate cut not applied: {resumed_pps:.0} pkt/s"
+        );
+        assert!(sim.link(f).stats.admin_dropped > 0);
     }
 
     #[test]

@@ -21,6 +21,7 @@ static DEFERRED_TIMER_PUSHES: AtomicU64 = AtomicU64::new(0);
 static WHEEL_HWM: AtomicU64 = AtomicU64::new(0);
 static FAR_HWM: AtomicU64 = AtomicU64::new(0);
 static SLAB_HWM: AtomicU64 = AtomicU64::new(0);
+static RANDOM_LOSS_DROPS: AtomicU64 = AtomicU64::new(0);
 
 /// A point-in-time reading of the process-wide engine counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,6 +39,9 @@ pub struct EngineTelemetry {
     pub far_hwm: u64,
     /// Peak packet-slab occupancy of any single simulation.
     pub slab_hwm: u64,
+    /// Packets dropped by per-link Bernoulli random loss (fault injection)
+    /// across all simulations.
+    pub random_loss_drops: u64,
 }
 
 /// Fold one simulation's counters into the process-wide totals. Called from
@@ -49,6 +53,7 @@ pub(crate) fn merge(c: &SimCounters) {
     WHEEL_HWM.fetch_max(c.wheel_hwm, Ordering::Relaxed);
     FAR_HWM.fetch_max(c.far_hwm, Ordering::Relaxed);
     SLAB_HWM.fetch_max(c.slab_hwm, Ordering::Relaxed);
+    RANDOM_LOSS_DROPS.fetch_add(c.random_loss_drops, Ordering::Relaxed);
 }
 
 /// Read the current process-wide totals. Subtract two snapshots to attribute
@@ -61,5 +66,6 @@ pub fn snapshot() -> EngineTelemetry {
         wheel_hwm: WHEEL_HWM.load(Ordering::Relaxed),
         far_hwm: FAR_HWM.load(Ordering::Relaxed),
         slab_hwm: SLAB_HWM.load(Ordering::Relaxed),
+        random_loss_drops: RANDOM_LOSS_DROPS.load(Ordering::Relaxed),
     }
 }

@@ -1,0 +1,273 @@
+//! The live backend: compile a [`Scenario`] into per-path piecewise-constant
+//! schedules the `dmp-live` path emulator can replay instead of its random
+//! rate resampler.
+//!
+//! The emulator shapes one path as a token-bucket rate plus a fixed delay, so
+//! scripted events map onto rate/delay/down steps:
+//!
+//! * [`Event::RateStep`] / [`Event::RateRamp`] — rate factor steps (ramps are
+//!   expanded into their sub-steps exactly as on the netsim backend);
+//! * [`Event::DelayStep`] — delay factor step;
+//! * [`Event::PathDown`] / [`Event::PathUp`] — the `down` flag (the emulator
+//!   stops forwarding while down);
+//! * [`Event::LossEpisode`] — the emulator has no per-packet loss process, so
+//!   an episode with loss `p` becomes a throughput multiplier
+//!   `1 / sqrt(1 + p/0.01)` for its duration, the Mathis-style degradation a
+//!   TCP flow would see relative to ~1% baseline loss;
+//! * [`Event::FlashCrowd`] — `n` extra TCP-fair competitors become the
+//!   multiplier `1 / (1 + n)` for the crowd's stay.
+
+use std::time::Duration;
+
+use crate::timeline::{Event, Scenario};
+
+/// State of one path from `at` until the next step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveStep {
+    /// When this state takes effect, relative to video start.
+    pub at: Duration,
+    /// Multiplier on the path's base shaping rate.
+    pub rate_factor: f64,
+    /// Multiplier on the path's base one-way delay.
+    pub delay_factor: f64,
+    /// While true the emulator forwards nothing (path failure).
+    pub down: bool,
+}
+
+/// A piecewise-constant schedule for one path: `steps[i]` holds from
+/// `steps[i].at` until `steps[i+1].at`. Always starts with a step at 0 in the
+/// neutral state (factors 1.0, up).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSchedule {
+    /// The steps, sorted by `at`, deduplicated per timestamp.
+    pub steps: Vec<LiveStep>,
+}
+
+impl PathSchedule {
+    /// The state in force at `elapsed` since video start.
+    pub fn state_at(&self, elapsed: Duration) -> LiveStep {
+        let mut cur = self.steps[0];
+        for s in &self.steps {
+            if s.at <= elapsed {
+                cur = *s;
+            } else {
+                break;
+            }
+        }
+        cur
+    }
+
+    /// The time of the first step strictly after `elapsed`, if any. Lets the
+    /// emulator sleep exactly until the next scripted change.
+    pub fn next_change_after(&self, elapsed: Duration) -> Option<Duration> {
+        self.steps.iter().map(|s| s.at).find(|&at| at > elapsed)
+    }
+
+    /// True when the schedule never leaves the neutral state.
+    pub fn is_neutral(&self) -> bool {
+        self.steps
+            .iter()
+            .all(|s| s.rate_factor == 1.0 && s.delay_factor == 1.0 && !s.down)
+    }
+}
+
+/// Throughput multiplier a loss episode imposes on a shaped TCP path.
+fn loss_rate_factor(loss: f64) -> f64 {
+    1.0 / (1.0 + loss / 0.01).sqrt()
+}
+
+/// Compile `scenario` into one [`PathSchedule`] per path.
+///
+/// Panics if the scenario fails [`Scenario::validate`] for `n_paths`.
+pub fn compile_live(scenario: &Scenario, n_paths: usize) -> Vec<PathSchedule> {
+    scenario
+        .validate(n_paths)
+        .expect("scenario does not fit the live topology");
+
+    // Per path, collect (at_s, state-delta) changes, then fold into absolute
+    // piecewise-constant state.
+    #[derive(Debug, Clone, Copy)]
+    enum Delta {
+        Rate(f64),
+        Delay(f64),
+        Down(bool),
+        /// Multiplicative congestion factor begins (loss episode or crowd).
+        MulOn(f64),
+        /// ...and ends (same factor, divided back out).
+        MulOff(f64),
+    }
+
+    let mut changes: Vec<Vec<(f64, Delta)>> = vec![Vec::new(); n_paths];
+    let mut rate_factor = vec![1.0_f64; n_paths];
+    for e in &scenario.events {
+        let ch = &mut changes[e.path];
+        match e.event {
+            Event::PathDown => ch.push((e.at_s, Delta::Down(true))),
+            Event::PathUp => ch.push((e.at_s, Delta::Down(false))),
+            Event::RateStep { factor } => {
+                rate_factor[e.path] = factor;
+                ch.push((e.at_s, Delta::Rate(factor)));
+            }
+            Event::RateRamp {
+                factor,
+                over_s,
+                steps,
+            } => {
+                let from = rate_factor[e.path];
+                for i in 1..=steps {
+                    let frac = f64::from(i) / f64::from(steps);
+                    ch.push((
+                        e.at_s + over_s * frac,
+                        Delta::Rate(from + (factor - from) * frac),
+                    ));
+                }
+                rate_factor[e.path] = factor;
+            }
+            Event::DelayStep { factor } => ch.push((e.at_s, Delta::Delay(factor))),
+            Event::LossEpisode { loss, duration_s } => {
+                let f = loss_rate_factor(loss);
+                ch.push((e.at_s, Delta::MulOn(f)));
+                ch.push((e.at_s + duration_s, Delta::MulOff(f)));
+            }
+            Event::FlashCrowd {
+                n_flows,
+                duration_s,
+            } => {
+                let f = 1.0 / (1.0 + f64::from(n_flows));
+                ch.push((e.at_s, Delta::MulOn(f)));
+                ch.push((e.at_s + duration_s, Delta::MulOff(f)));
+            }
+        }
+    }
+
+    changes
+        .into_iter()
+        .map(|mut ch| {
+            // Stable by time: simultaneous changes apply in script order and
+            // merge into one step.
+            ch.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let mut steps = vec![LiveStep {
+                at: Duration::ZERO,
+                rate_factor: 1.0,
+                delay_factor: 1.0,
+                down: false,
+            }];
+            let mut scripted_rate = 1.0_f64;
+            let mut congestion = 1.0_f64;
+            let mut delay = 1.0_f64;
+            let mut down = false;
+            for (at_s, delta) in ch {
+                match delta {
+                    Delta::Rate(f) => scripted_rate = f,
+                    Delta::Delay(f) => delay = f,
+                    Delta::Down(d) => down = d,
+                    Delta::MulOn(f) => congestion *= f,
+                    Delta::MulOff(f) => congestion /= f,
+                }
+                let step = LiveStep {
+                    at: Duration::from_secs_f64(at_s),
+                    rate_factor: scripted_rate * congestion,
+                    delay_factor: delay,
+                    down,
+                };
+                match steps.last_mut() {
+                    Some(last) if last.at == step.at => *last = step,
+                    _ => steps.push(step),
+                }
+            }
+            PathSchedule { steps }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sec(s: f64) -> Duration {
+        Duration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn empty_scenario_is_neutral() {
+        let scheds = compile_live(&Scenario::default(), 2);
+        assert_eq!(scheds.len(), 2);
+        assert!(scheds.iter().all(PathSchedule::is_neutral));
+        assert_eq!(scheds[0].state_at(sec(1000.0)).rate_factor, 1.0);
+        assert_eq!(scheds[0].next_change_after(Duration::ZERO), None);
+    }
+
+    #[test]
+    fn down_and_up_toggle_the_flag() {
+        let s = Scenario::named("f")
+            .at(10.0, 0, Event::PathDown)
+            .at(25.0, 0, Event::PathUp);
+        let sched = &compile_live(&s, 2)[0];
+        assert!(!sched.state_at(sec(9.9)).down);
+        assert!(sched.state_at(sec(10.0)).down);
+        assert!(sched.state_at(sec(24.9)).down);
+        assert!(!sched.state_at(sec(25.0)).down);
+        assert_eq!(sched.next_change_after(sec(10.0)), Some(sec(25.0)));
+        // Path 1 is untouched.
+        assert!(compile_live(&s, 2)[1].is_neutral());
+    }
+
+    #[test]
+    fn loss_and_crowd_compose_multiplicatively_and_restore() {
+        let s = Scenario::named("m")
+            .at(
+                10.0,
+                0,
+                Event::LossEpisode {
+                    loss: 0.03,
+                    duration_s: 20.0,
+                },
+            )
+            .at(
+                15.0,
+                0,
+                Event::FlashCrowd {
+                    n_flows: 3,
+                    duration_s: 10.0,
+                },
+            );
+        let sched = &compile_live(&s, 1)[0];
+        let loss_f = 1.0 / (1.0 + 0.03 / 0.01_f64).sqrt();
+        let both = loss_f * 0.25;
+        assert!((sched.state_at(sec(12.0)).rate_factor - loss_f).abs() < 1e-12);
+        assert!((sched.state_at(sec(20.0)).rate_factor - both).abs() < 1e-12);
+        assert!((sched.state_at(sec(27.0)).rate_factor - loss_f).abs() < 1e-12);
+        assert!((sched.state_at(sec(31.0)).rate_factor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ramp_expands_to_substeps_scaled_by_congestion() {
+        let s = Scenario::named("r")
+            .at(0.0, 0, Event::RateStep { factor: 0.5 })
+            .at(
+                10.0,
+                0,
+                Event::RateRamp {
+                    factor: 1.0,
+                    over_s: 4.0,
+                    steps: 4,
+                },
+            );
+        let sched = &compile_live(&s, 1)[0];
+        assert!((sched.state_at(sec(5.0)).rate_factor - 0.5).abs() < 1e-12);
+        assert!((sched.state_at(sec(11.0)).rate_factor - 0.625).abs() < 1e-12);
+        assert!((sched.state_at(sec(12.0)).rate_factor - 0.75).abs() < 1e-12);
+        assert!((sched.state_at(sec(14.0)).rate_factor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simultaneous_changes_merge_into_one_step() {
+        let s = Scenario::named("m")
+            .at(10.0, 0, Event::RateStep { factor: 0.5 })
+            .at(10.0, 0, Event::DelayStep { factor: 2.0 });
+        let sched = &compile_live(&s, 1)[0];
+        assert_eq!(sched.steps.len(), 2);
+        let st = sched.state_at(sec(10.0));
+        assert_eq!((st.rate_factor, st.delay_factor), (0.5, 2.0));
+    }
+}
