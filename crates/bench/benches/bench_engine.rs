@@ -7,6 +7,12 @@
 //!   of all three topologies on both engines.
 //! * `--quick-smoke` — tiny-scale run asserting both engines agree exactly
 //!   (CI gate; seconds, not minutes).
+//! * `--baseline <BENCH_netsim.json>` (combinable with `--quick-smoke`) —
+//!   re-measure events/sec per topology and fail (exit 1) if any topology
+//!   collapses below half of the recorded baseline. The 2x tolerance is
+//!   deliberately loose: CI machines are slower and noisier than the box
+//!   that wrote the baseline; the gate exists to catch order-of-magnitude
+//!   engine regressions, not percent-level drift.
 //! * `--json <path> [--repro-baseline-s X --repro-current-s Y]` — measure
 //!   and write the `BENCH_netsim.json` perf-trajectory artifact, optionally
 //!   recording the cold `repro_all --quick` serial-equivalent seconds.
@@ -107,9 +113,11 @@ fn run_multipath_video(engine: EngineKind, dur_s: f64) -> (u64, Digest) {
         dmp_sim::experiment::ExperimentSpec::new(setting, SchedulerKind::Dynamic, dur_s, 2007);
     spec.warmup_s = 10.0;
     spec.engine = engine;
-    let before = netsim::telemetry::snapshot().events_processed;
+    let before = netsim::telemetry::snapshot();
     let out = dmp_sim::experiment::run(&spec);
-    let events = netsim::telemetry::snapshot().events_processed - before;
+    let events = netsim::telemetry::snapshot()
+        .delta(&before)
+        .events_processed;
     let digest = (
         out.trace.delivered(),
         out.trace.generated(),
@@ -208,6 +216,57 @@ fn write_json(path: &str, repro_baseline_s: Option<f64>, repro_current_s: Option
     println!("wrote {path}");
 }
 
+/// `--baseline <path>`: re-measure each topology × engine at smoke duration
+/// and compare events/sec against the recorded `BENCH_netsim.json`. Only a
+/// collapse below `1/TOLERANCE` of the baseline fails — the baseline was
+/// written on one particular machine and CI runners are legitimately slower.
+fn compare_baseline(path: &str) -> Result<(), String> {
+    const TOLERANCE: f64 = 2.0;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let doc = dmp_runner::json::parse(&text)
+        .ok_or_else(|| format!("baseline {path} is not valid JSON"))?;
+    let topologies = doc
+        .get("topologies")
+        .ok_or_else(|| format!("baseline {path} has no `topologies` object"))?;
+    let mut failures = Vec::new();
+    for (name, f, _) in TOPOLOGIES {
+        // Warm-up, then a short timed pass (the gate compares rates, so the
+        // measured duration need not match the baseline's).
+        let _ = f(EngineKind::Calendar, 5.0);
+        for (ename, engine) in ENGINES {
+            let baseline_eps = topologies
+                .get(name)
+                .and_then(|t| t.get("engines"))
+                .and_then(|e| e.get(ename))
+                .and_then(|e| e.get("events_per_s"))
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("baseline {path} has no {name}/{ename} events_per_s"))?;
+            let (_, eps) = measure(f, engine, 20.0);
+            let floor = baseline_eps / TOLERANCE;
+            let verdict = if eps < floor { "COLLAPSE" } else { "ok" };
+            println!(
+                "baseline {name}/{ename}: {eps:.0} events/s vs recorded {baseline_eps:.0} \
+                 (floor {floor:.0}) {verdict}"
+            );
+            if eps < floor {
+                failures.push(format!(
+                    "{name}/{ename}: {eps:.0} events/s < {floor:.0} ({baseline_eps:.0} / {TOLERANCE})"
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("baseline OK: all topologies within {TOLERANCE}x of {path}");
+        Ok(())
+    } else {
+        Err(format!(
+            "throughput collapse vs {path}: {}",
+            failures.join("; ")
+        ))
+    }
+}
+
 /// Default mode: criterion timing of every topology × engine.
 fn bench(c: &mut Criterion) {
     for (name, f, _) in TOPOLOGIES {
@@ -243,6 +302,19 @@ fn main() {
     };
     if flag("--quick-smoke") {
         quick_smoke();
+        if let Some(path) = value("--baseline") {
+            if let Err(e) = compare_baseline(&path) {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if let Some(path) = value("--baseline") {
+        if let Err(e) = compare_baseline(&path) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
         return;
     }
     if let Some(path) = value("--json") {

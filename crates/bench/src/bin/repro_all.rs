@@ -4,9 +4,15 @@
 //! Flags: `--quick` (reduced scale, seconds per target) / `--full`
 //! (paper-fidelity, the default); `--scenarios` appends the scripted
 //! path-dynamics targets (`ext_failover`, `ext_flashcrowd`) after the paper
-//! figures. A second invocation at the same scale answers from the
-//! content-addressed cache (`target/dmp-cache`); delete the directory or set
-//! `DMP_NO_CACHE=1` to recompute.
+//! figures; `--trace` (off by default) records [`obs`] flight-recorder
+//! traces for the scenario and live targets under
+//! `target/artifacts/traces/`, listed in each target's `.meta.json` sidecar
+//! and readable with the `trace_report` binary — traced jobs bypass the
+//! result cache, and tracing never changes any artifact byte (the
+//! `scheduler_differential` and `trace_example` tests enforce this). A
+//! second invocation at the same scale answers from the content-addressed
+//! cache (`target/dmp-cache`); delete the directory or set `DMP_NO_CACHE=1`
+//! to recompute.
 
 use std::time::Instant;
 

@@ -1,0 +1,76 @@
+//! Post-process an [`obs`] flight-recorder JSONL trace into paper-style
+//! diagnostics: cwnd-evolution and per-path throughput timelines, queue-depth
+//! percentiles, and a per-glitch "why" report correlating each playback stall
+//! with the scripted path events and TCP recovery activity around it.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace_report <trace.jsonl> [--rate <pkts/s>] [--tau <s>] [--window <s>]
+//!              [--bucket <s>] [--out <report.txt>]
+//! ```
+//!
+//! Traces are recorded by running any scenario/live target with `--trace`
+//! (files land under `target/artifacts/traces/`, and each target's
+//! `.meta.json` sidecar lists them under `trace_files`).
+
+use dmp_bench::trace_report::{render_report, ReportOptions};
+use obs::Trace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value = |name: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let num = |name: &str| -> Option<f64> { value(name).and_then(|v| v.parse().ok()) };
+    // The positional trace path is the first argument that is neither a
+    // `--flag` nor the value following one (every flag takes a value).
+    let mut path = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            path.get_or_insert(args[i].clone());
+            i += 1;
+        }
+    }
+    let Some(path) = path else {
+        eprintln!(
+            "usage: trace_report <trace.jsonl> [--rate <pkts/s>] [--tau <s>] \
+             [--window <s>] [--bucket <s>] [--out <report.txt>]"
+        );
+        std::process::exit(2);
+    };
+    let defaults = ReportOptions::default();
+    let opts = ReportOptions {
+        rate_pps: num("--rate").unwrap_or(defaults.rate_pps),
+        tau_s: num("--tau").unwrap_or(defaults.tau_s),
+        window_s: num("--window").unwrap_or(defaults.window_s),
+        bucket_s: num("--bucket").unwrap_or(defaults.bucket_s),
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let trace = match Trace::parse(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = render_report(&trace, &opts);
+    match value("--out") {
+        Some(out) => {
+            std::fs::write(out, &report).expect("write report");
+            println!("wrote {out}");
+        }
+        None => print!("{report}"),
+    }
+}

@@ -27,6 +27,8 @@
 //! | `repro_all` | everything above, in order |
 //! | `ext_kpaths`, `ext_stored`, `ext_ablations` | extensions beyond the paper (K > 2 paths, stored video, design ablations) |
 //! | `ext_failover`, `ext_flashcrowd` | scripted path dynamics: mid-stream path failure and a transient flash crowd, with resilience metrics per scheduler |
+//! | `trace_report` | post-process an [`obs`] flight-recorder JSONL trace (recorded with `--trace`) into cwnd/throughput timelines, queue percentiles and a per-glitch "why" report |
+//! | `trace_example` | record the committed quick-scale `ext_failover` example trace and its report (see `artifacts/traces/`) |
 
 #![warn(missing_docs)]
 
@@ -42,6 +44,8 @@ pub mod scenarios;
 pub mod static_cmp;
 pub mod tables;
 pub mod target;
+pub mod trace_example;
+pub mod trace_report;
 pub mod validation;
 
 pub use scale::Scale;
@@ -49,17 +53,25 @@ pub use target::{TargetFn, TargetReport};
 
 /// Parse the `--quick` / `--full` flags (or `DMP_QUICK=1`) for the binaries.
 /// An explicit `--full` wins over the environment; default is full scale.
+/// `--trace` (or `DMP_TRACE=1`) additionally records flight-recorder traces
+/// for the targets that support them (see [`Scale::trace`]).
 pub fn scale_from_env() -> Scale {
-    if std::env::args().any(|a| a == "--full") {
-        return Scale::full();
-    }
-    let quick = std::env::args().any(|a| a == "--quick")
-        || std::env::var("DMP_QUICK")
+    let mut scale = if std::env::args().any(|a| a == "--full") {
+        Scale::full()
+    } else {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("DMP_QUICK")
+                .map(|v| v == "1")
+                .unwrap_or(false);
+        if quick {
+            Scale::quick()
+        } else {
+            Scale::full()
+        }
+    };
+    scale.trace = std::env::args().any(|a| a == "--trace")
+        || std::env::var("DMP_TRACE")
             .map(|v| v == "1")
             .unwrap_or(false);
-    if quick {
-        Scale::quick()
-    } else {
-        Scale::full()
-    }
+    scale
 }

@@ -60,6 +60,7 @@ pub fn experiment_set(scale: &Scale) -> Vec<LiveExperiment> {
             seed: scale.seed.wrapping_add(i as u64 * 97),
             time_dilation: scale.live_time_dilation,
             schedules: None,
+            trace_label: scale.trace.then(|| format!("fig7_live_exp{i}")),
         });
     }
     v
@@ -72,16 +73,24 @@ pub fn experiment_set(scale: &Scale) -> Vec<LiveExperiment> {
 /// re-streaming for `packets/µ` seconds. Delete `target/dmp-cache` or set
 /// `DMP_NO_CACHE=1` to re-measure.
 fn live_job(i: usize, exp: LiveExperiment, taus: Vec<f64>) -> JobSpec<RunSummary> {
-    let config_repr = format!("live-fig7/v1/{exp:?}/taus{taus:?}");
+    // v2: the spec gained the `trace_label` field.
+    let config_repr = format!("live-fig7/v2/{exp:?}/taus{taus:?}");
     let seed = exp.seed;
-    JobSpec::new(format!("fig7:live:exp{i}"), config_repr, seed, move || {
+    let traced = exp.trace_label.is_some();
+    let job = JobSpec::new(format!("fig7:live:exp{i}"), config_repr, seed, move || {
         let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
         let run = rt.block_on(run_experiment(&exp, &taus)).expect("live run");
         RunSummary {
             paths: Vec::new(),
             per_tau: run.report.per_tau,
         }
-    })
+    });
+    // A cache hit would skip the stream and write no trace file.
+    if traced {
+        job.uncacheable()
+    } else {
+        job
+    }
 }
 
 /// Run the Fig. 7 experiment set (wall-clock bound: `packets/(µF)` seconds
@@ -107,9 +116,13 @@ pub fn fig7(r: &Runner, scale: &Scale) -> TargetReport {
             .enumerate()
             .flat_map(|(i, exp)| {
                 taus.iter().map(move |&tau_s| {
-                    let exp = exp.clone();
+                    let mut exp = exp.clone();
+                    // The model never looks at the trace label; dropping it
+                    // keeps one cache entry per configuration whether or not
+                    // the measurement run was traced.
+                    exp.trace_label = None;
                     let config_repr =
-                        format!("live-fig7-model/v1/{exp:?}/tau{tau_s}/consumptions{consumptions}");
+                        format!("live-fig7-model/v2/{exp:?}/tau{tau_s}/consumptions{consumptions}");
                     JobSpec::new(
                         format!("fig7:model:exp{i}:tau{tau_s}"),
                         config_repr,

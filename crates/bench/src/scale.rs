@@ -28,6 +28,12 @@ pub struct Scale {
     pub live_time_dilation: f64,
     /// Base seed.
     pub seed: u64,
+    /// Record [`obs`] flight-recorder traces for the targets that support
+    /// them (the scenario extensions and the live fig7 runs). Off by
+    /// default: traced jobs bypass the result cache (a cache hit would skip
+    /// the run and write no trace), so this trades cache reuse for
+    /// diagnosability. Enable with `--trace` or `DMP_TRACE=1`.
+    pub trace: bool,
 }
 
 impl Scale {
@@ -42,6 +48,7 @@ impl Scale {
             live_experiments: 10,
             live_time_dilation: 4.0,
             seed: 2007,
+            trace: false,
         }
     }
 
@@ -56,6 +63,7 @@ impl Scale {
             live_experiments: 3,
             live_time_dilation: 6.0,
             seed: 2007,
+            trace: false,
         }
     }
 

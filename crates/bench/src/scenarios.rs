@@ -15,7 +15,7 @@
 
 use dmp_core::{ResilienceSpec, SchedulerKind, VideoSpec};
 use dmp_runner::{JobSpec, Json, JsonCodec, Runner};
-use dmp_sim::{scenario_batch_jobs, setting, ExperimentSpec, ScenarioSummary, Setting};
+use dmp_sim::{scenario_batch_jobs, setting, ExperimentSpec, ScenarioSummary, Setting, TraceSpec};
 use netsim::EngineKind;
 use scenario::{Event, Scenario};
 
@@ -24,9 +24,9 @@ use crate::scale::Scale;
 use crate::target::{opt_num, TargetReport};
 
 /// Startup delay τ at which the scenario runs are evaluated, seconds.
-const TAU_S: f64 = 6.0;
+pub const TAU_S: f64 = 6.0;
 /// Sliding window for the worst-window late fraction, seconds.
-const WINDOW_S: f64 = 10.0;
+pub const WINDOW_S: f64 = 10.0;
 /// Schedulers compared under every scenario, in row order.
 const SCHEDULERS: [SchedulerKind; 3] = [
     SchedulerKind::Dynamic,
@@ -38,7 +38,7 @@ const SCHEDULERS: [SchedulerKind; 3] = [
 /// light enough that the surviving path alone can carry the full rate, so
 /// after the outage it is the *scheduler*, not capacity, that decides
 /// whether the stream comes back.
-fn failover_setting() -> Setting {
+pub(crate) fn failover_setting() -> Setting {
     Setting {
         name: "fail-2-2",
         configs: [2, 2],
@@ -92,6 +92,10 @@ fn scenario_spec(
     let mut spec = ExperimentSpec::new(setting, scheduler, scale.sim_duration_s, scale.seed);
     spec.engine = engine;
     spec.scenario = scn.clone();
+    if scale.trace {
+        // Per-run labels come from the job labels in `scenario_batch_jobs`.
+        spec.trace = TraceSpec::on("");
+    }
     spec
 }
 

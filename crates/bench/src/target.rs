@@ -106,40 +106,36 @@ pub fn execute(
     let report = target(runner, scale);
     let wall = t0.elapsed();
     let stats = stats_delta(before, runner.stats());
-    let engine = netsim::telemetry::snapshot();
+    // Counts become deltas attributable to this target; high-water marks
+    // stay peaks (monotone maxima), per `EngineTelemetry::delta`.
+    let engine = netsim::telemetry::snapshot().delta(&engine_before);
     if let Err(e) = artifacts.write(name, &report.data) {
         eprintln!("warning: could not write artifact {name}.json: {e}");
     }
-    // Engine counters: counts are deltas attributable to this target;
-    // high-water marks are process-lifetime peaks (monotone maxima).
     let mut engine_meta = vec![
-        (
-            "engine_events",
-            Json::Num((engine.events_processed - engine_before.events_processed) as f64),
-        ),
+        ("engine_events", Json::Num(engine.events_processed as f64)),
         (
             "engine_events_per_s",
             Json::Num(if stats.serial_equiv.as_secs_f64() > 0.0 {
-                (engine.events_processed - engine_before.events_processed) as f64
-                    / stats.serial_equiv.as_secs_f64()
+                engine.events_processed as f64 / stats.serial_equiv.as_secs_f64()
             } else {
                 0.0
             }),
         ),
         (
             "engine_stale_timer_pops",
-            Json::Num((engine.stale_timer_pops - engine_before.stale_timer_pops) as f64),
+            Json::Num(engine.stale_timer_pops as f64),
         ),
         (
             "engine_deferred_timer_pushes",
-            Json::Num((engine.deferred_timer_pushes - engine_before.deferred_timer_pushes) as f64),
+            Json::Num(engine.deferred_timer_pushes as f64),
         ),
         ("engine_wheel_hwm", Json::Num(engine.wheel_hwm as f64)),
         ("engine_far_hwm", Json::Num(engine.far_hwm as f64)),
         ("engine_slab_hwm", Json::Num(engine.slab_hwm as f64)),
         (
             "engine_random_loss_drops",
-            Json::Num((engine.random_loss_drops - engine_before.random_loss_drops) as f64),
+            Json::Num(engine.random_loss_drops as f64),
         ),
     ];
     // Live-path evidence: the shaping timeline each emulated path actually
@@ -161,6 +157,22 @@ pub fn execute(
                         ])
                     })),
                 )
+            })),
+        ));
+    }
+    // Flight-recorder traces written during this target (empty unless the
+    // scale's `trace` flag is on): label → JSONL file, so a reader of the
+    // sidecar can find the raw event streams behind the summary numbers.
+    let trace_files = obs::drain_trace_files();
+    if !trace_files.is_empty() {
+        engine_meta.push((
+            "trace_files",
+            Json::arr(trace_files.into_iter().map(|f| {
+                Json::obj([
+                    ("label", Json::Str(f.label)),
+                    ("path", Json::Str(f.path.display().to_string())),
+                    ("events", Json::Num(f.events as f64)),
+                ])
             })),
         ));
     }

@@ -1,0 +1,460 @@
+//! Post-process a flight-recorder trace (see the [`obs`] crate) into the
+//! paper-style diagnostics the `trace_report` binary prints: cwnd-evolution
+//! and per-path throughput timelines, queue-depth percentiles, the
+//! [`dmp_core::resilience`] summary, and a per-glitch "why" report that
+//! correlates each playback stall with the scripted path events and TCP
+//! recovery activity (RTO expirations, fast-recovery transitions) in the
+//! surrounding window.
+
+use dmp_core::resilience::{ResilienceReport, ResilienceSpec};
+use dmp_core::trace::DeliveryRecord;
+use obs::report::PacketTimes;
+use obs::{EventKind, Trace, TraceEvent};
+
+use crate::report::Table;
+
+/// Knobs for [`render_report`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReportOptions {
+    /// Video packet rate µ (pkts/s); converts late-packet runs to seconds.
+    pub rate_pps: f64,
+    /// Startup delay τ: packet `i` stalls playback iff it misses `gen_i + τ`.
+    pub tau_s: f64,
+    /// Sliding window for the worst-window metric and the half-width of the
+    /// correlation window drawn around each glitch.
+    pub window_s: f64,
+    /// Bucket width of the per-path throughput timeline, seconds.
+    pub bucket_s: f64,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        Self {
+            rate_pps: 25.0,
+            tau_s: 6.0,
+            window_s: 10.0,
+            bucket_s: 5.0,
+        }
+    }
+}
+
+/// One playback stall: a maximal run of consecutive late packets, in
+/// generation time. Same rule as `dmp_core::resilience` (which reports only
+/// aggregates): duration is the run's generation span plus one playback slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Glitch {
+    /// Generation time of the first late packet, seconds.
+    pub start_s: f64,
+    /// End of the stall (last late packet's slot), seconds.
+    pub end_s: f64,
+}
+
+/// Extract the glitch intervals from reconstructed packet times.
+pub fn glitches(pkts: &[PacketTimes], tau_s: f64, rate_pps: f64) -> Vec<Glitch> {
+    let slot_s = 1.0 / rate_pps;
+    let is_late = |p: &PacketTimes| p.arrival_s.is_none_or(|a| a > p.gen_s + tau_s);
+    let mut out = Vec::new();
+    let mut run: Option<(f64, f64)> = None;
+    for p in pkts {
+        if is_late(p) {
+            let (_, end) = run.get_or_insert((p.gen_s, p.gen_s));
+            *end = p.gen_s;
+        } else if let Some((s, e)) = run.take() {
+            out.push(Glitch {
+                start_s: s,
+                end_s: e + slot_s,
+            });
+        }
+    }
+    if let Some((s, e)) = run {
+        out.push(Glitch {
+            start_s: s,
+            end_s: e + slot_s,
+        });
+    }
+    out
+}
+
+fn records(pkts: &[PacketTimes]) -> Vec<DeliveryRecord> {
+    pkts.iter()
+        .map(|p| DeliveryRecord {
+            seq: p.seq,
+            gen_ns: (p.gen_s * 1e9).round() as u64,
+            arrival_ns: p.arrival_s.map(|a| (a * 1e9).round() as u64),
+            path: p.path.unwrap_or(0) as u8,
+        })
+        .collect()
+}
+
+/// One-line rendering of a recovery-relevant event for the "why" listing.
+fn describe(e: &TraceEvent) -> String {
+    let t = e.t as f64 / 1e9;
+    match &e.kind {
+        EventKind::PathEvent { path, action } => {
+            format!("{t:10.3}s  path {path} {}", action.name())
+        }
+        EventKind::RtoTimeout {
+            conn,
+            seq,
+            backoff_exp,
+        } => format!("{t:10.3}s  conn {conn} RTO expired (seq {seq}, backoff 2^{backoff_exp})"),
+        EventKind::Retransmit { conn, seq, fast } => format!(
+            "{t:10.3}s  conn {conn} {} seq {seq}",
+            if *fast {
+                "fast-retransmit"
+            } else {
+                "retransmit"
+            }
+        ),
+        EventKind::FastRecovery { conn, entered } => format!(
+            "{t:10.3}s  conn {conn} {} fast recovery",
+            if *entered { "entered" } else { "left" }
+        ),
+        other => format!("{t:10.3}s  {other:?}"),
+    }
+}
+
+/// Evenly sample up to `max` points of a series (always keeping the ends).
+fn downsample<T: Copy>(series: &[T], max: usize) -> Vec<T> {
+    if series.len() <= max || max < 2 {
+        return series.to_vec();
+    }
+    (0..max)
+        .map(|i| series[i * (series.len() - 1) / (max - 1)])
+        .collect()
+}
+
+/// Render the full text report for one parsed trace.
+pub fn render_report(trace: &Trace, opts: &ReportOptions) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "flight-recorder report: {} events over {:.1} s\n",
+        trace.events.len(),
+        trace.duration_s()
+    ));
+    for (path, conn) in trace.path_conn_map() {
+        out.push_str(&format!("  path {path} <-> conn {conn}\n"));
+    }
+
+    // Cwnd evolution: per-connection summary plus a sampled timeline.
+    let mut cwnd = Table::new(
+        "cwnd evolution (sampled; full series in the trace)",
+        &["conn", "t (s)", "cwnd", "ssthresh"],
+    );
+    let mut recovery = Table::new(
+        "TCP recovery activity per connection",
+        &[
+            "conn",
+            "cwnd samples",
+            "retx",
+            "fast retx",
+            "RTO",
+            "fastrec entries",
+        ],
+    );
+    for conn in trace.conns() {
+        let series = trace.cwnd_series(conn);
+        for (t, w, ss) in downsample(&series, 8) {
+            cwnd.row(vec![
+                conn.to_string(),
+                format!("{t:.3}"),
+                format!("{w:.2}"),
+                format!("{ss:.1}"),
+            ]);
+        }
+        let count =
+            |f: &dyn Fn(&EventKind) -> bool| trace.events.iter().filter(|e| f(&e.kind)).count();
+        recovery.row(vec![
+            conn.to_string(),
+            series.len().to_string(),
+            count(
+                &|k| matches!(k, EventKind::Retransmit { conn: c, fast: false, .. } if *c == conn),
+            )
+            .to_string(),
+            count(
+                &|k| matches!(k, EventKind::Retransmit { conn: c, fast: true, .. } if *c == conn),
+            )
+            .to_string(),
+            count(&|k| matches!(k, EventKind::RtoTimeout { conn: c, .. } if *c == conn))
+                .to_string(),
+            count(
+                &|k| matches!(k, EventKind::FastRecovery { conn: c, entered: true } if *c == conn),
+            )
+            .to_string(),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&cwnd.render());
+    out.push('\n');
+    out.push_str(&recovery.render());
+
+    // Per-path throughput timeline.
+    let mut tp = Table::new(
+        format!(
+            "per-path delivered packets per {:.0}-s bucket",
+            opts.bucket_s
+        ),
+        &["path", "timeline"],
+    );
+    for (path, counts) in trace.path_throughput(opts.bucket_s) {
+        tp.row(vec![
+            path.to_string(),
+            counts
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&tp.render());
+
+    // Queue-depth percentiles.
+    let mut q = Table::new(
+        "queue occupancy (packets)",
+        &["queue", "samples", "p50", "p90", "p99", "max"],
+    );
+    let srv = trace.srv_queue_stats();
+    if srv.samples > 0 {
+        q.row(vec![
+            "server pull queue".to_string(),
+            srv.samples.to_string(),
+            srv.p50.to_string(),
+            srv.p90.to_string(),
+            srv.p99.to_string(),
+            srv.max.to_string(),
+        ]);
+    }
+    for link in trace.sampled_links() {
+        let s = trace.link_queue_stats(link);
+        q.row(vec![
+            format!("link {link}"),
+            s.samples.to_string(),
+            s.p50.to_string(),
+            s.p90.to_string(),
+            s.p99.to_string(),
+            s.max.to_string(),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&q.render());
+
+    // Resilience summary over the reconstructed deliveries, anchored at the
+    // first scripted "down" if the trace has one. The tail is trimmed the
+    // way `StreamTrace::stable_records` trims it: a packet generated within
+    // τ+5 s of the end may look "never arrived" only because the run ended,
+    // and would otherwise fabricate an end-of-trace glitch.
+    let mut pkts = trace.packet_times();
+    let end_s = pkts.iter().map(|p| p.gen_s).fold(0.0, f64::max);
+    pkts.retain(|p| p.gen_s < end_s - (opts.tau_s + 5.0));
+    if pkts.is_empty() {
+        out.push_str("\nno (stable) gen/dlv events in the trace; skipping the glitch report\n");
+        return out;
+    }
+    let fail_at_s = trace.path_events().iter().find_map(|e| match e.kind {
+        EventKind::PathEvent {
+            action: obs::PathAction::Down,
+            ..
+        } => Some(e.t as f64 / 1e9),
+        _ => None,
+    });
+    let spec = ResilienceSpec {
+        tau_s: opts.tau_s,
+        window_s: opts.window_s,
+        fail_at_s,
+    };
+    let res = ResilienceReport::from_records(&records(&pkts), opts.rate_pps, spec);
+    out.push_str(&format!(
+        "\nresilience @ tau={:.0}s (mu={:.0} pkt/s): {} glitch(es), {:.1} s stalled total, \
+         worst {:.0}-s window {:.1}% late, recovered: {}{}\n",
+        res.tau_s,
+        opts.rate_pps,
+        res.glitch_count,
+        res.total_glitch_s,
+        opts.window_s,
+        res.worst_window_late * 100.0,
+        res.recovered,
+        match res.time_to_recover_s {
+            Some(ttr) => format!(", time to recover {ttr:.1} s"),
+            None => String::new(),
+        },
+    ));
+
+    // The per-glitch "why". Every glitch gets one table row with its most
+    // plausible cause — the last scripted path event shortly before (or
+    // within τ of) the stall's onset; the full recovery-event windows are
+    // spelled out only for the longest stalls, which keeps reports on
+    // glitch-storm traces readable.
+    let glitch_list = glitches(&pkts, opts.tau_s, opts.rate_pps);
+    let cause_of = |g: &Glitch| {
+        trace.path_events().into_iter().rev().find(|e| {
+            let t = e.t as f64 / 1e9;
+            t <= g.start_s + opts.tau_s && t >= g.start_s - opts.window_s
+        })
+    };
+    let mut gt = Table::new(
+        "glitches and their causes",
+        &["glitch", "start (s)", "end (s)", "stalled (s)", "cause"],
+    );
+    for (i, g) in glitch_list.iter().enumerate() {
+        let cause = match cause_of(g).map(|e| &e.kind) {
+            Some(EventKind::PathEvent { path, action }) => {
+                format!("scripted `{}` on path {path}", action.name())
+            }
+            _ => "congestion (no scripted path event nearby)".to_string(),
+        };
+        gt.row(vec![
+            i.to_string(),
+            format!("{:.2}", g.start_s),
+            format!("{:.2}", g.end_s),
+            format!("{:.2}", g.end_s - g.start_s),
+            cause,
+        ]);
+    }
+    if glitch_list.is_empty() {
+        out.push_str("\nno glitches at this tau; nothing to explain\n");
+        return out;
+    }
+    out.push('\n');
+    out.push_str(&gt.render());
+
+    const MAX_DETAILED: usize = 3;
+    let mut by_duration: Vec<(usize, &Glitch)> = glitch_list.iter().enumerate().collect();
+    by_duration.sort_by(|(ia, a), (ib, b)| {
+        let (da, db) = (a.end_s - a.start_s, b.end_s - b.start_s);
+        db.partial_cmp(&da).unwrap().then(ia.cmp(ib))
+    });
+    by_duration.truncate(MAX_DETAILED);
+    by_duration.sort_by_key(|(i, _)| *i);
+    for (i, g) in by_duration {
+        out.push_str(&format!(
+            "\nglitch {i}: generation time [{:.2} s, {:.2} s] ({:.2} s stalled)\n",
+            g.start_s,
+            g.end_s,
+            g.end_s - g.start_s
+        ));
+        match cause_of(g).map(|e| (e.t as f64 / 1e9, &e.kind)) {
+            Some((t, EventKind::PathEvent { path, action })) => out.push_str(&format!(
+                "  cause: scripted `{}` on path {path} at {t:.2} s\n",
+                action.name(),
+            )),
+            _ => out.push_str("  cause: no scripted path event nearby (congestion-driven)\n"),
+        }
+        let (w0, w1) = (
+            (g.start_s - opts.window_s).max(0.0),
+            g.end_s + opts.window_s,
+        );
+        let window = trace.recovery_events_in(w0, w1);
+        out.push_str(&format!(
+            "  {} recovery-relevant event(s) in [{w0:.2} s, {w1:.2} s]:\n",
+            window.len(),
+        ));
+        const MAX_LISTED: usize = 12;
+        for e in window.iter().take(MAX_LISTED) {
+            out.push_str(&format!("  {}\n", describe(e)));
+        }
+        if window.len() > MAX_LISTED {
+            out.push_str(&format!("    ... {} more\n", window.len() - MAX_LISTED));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::PathAction;
+
+    fn ev(t_s: f64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            t: (t_s * 1e9).round() as u64,
+            kind,
+        }
+    }
+
+    /// 40 packets at 1 pkt/s; path 0 goes down at t=10 and packets 10..=14
+    /// arrive 8 s late (tau 4 → one glitch), the rest arrive instantly.
+    fn failover_trace() -> Trace {
+        let mut events = vec![
+            ev(0.0, EventKind::PathConn { path: 0, conn: 0 }),
+            ev(0.0, EventKind::PathConn { path: 1, conn: 1 }),
+        ];
+        for i in 0..40u64 {
+            let t = i as f64;
+            events.push(ev(t, EventKind::Generated { seq: i }));
+            let (lateness, path) = if (10..15).contains(&i) {
+                (8.0, 1)
+            } else {
+                (0.01, 0)
+            };
+            events.push(ev(t + lateness, EventKind::Delivered { path, seq: i }));
+        }
+        events.push(ev(
+            10.0,
+            EventKind::PathEvent {
+                path: 0,
+                action: PathAction::Down,
+            },
+        ));
+        events.push(ev(
+            10.4,
+            EventKind::RtoTimeout {
+                conn: 0,
+                seq: 10,
+                backoff_exp: 1,
+            },
+        ));
+        events.sort_by_key(|e| e.t);
+        Trace { events }
+    }
+
+    #[test]
+    fn glitches_are_maximal_late_runs() {
+        let t = failover_trace();
+        let g = glitches(&t.packet_times(), 4.0, 1.0);
+        assert_eq!(g.len(), 1);
+        assert!((g[0].start_s - 10.0).abs() < 1e-9);
+        assert!((g[0].end_s - 15.0).abs() < 1e-9, "end {}", g[0].end_s);
+    }
+
+    #[test]
+    fn report_correlates_glitch_with_scripted_down_and_rto() {
+        let t = failover_trace();
+        let opts = ReportOptions {
+            rate_pps: 1.0,
+            tau_s: 4.0,
+            window_s: 10.0,
+            bucket_s: 10.0,
+        };
+        let text = render_report(&t, &opts);
+        assert!(text.contains("1 glitch(es)"), "{text}");
+        assert!(
+            text.contains("cause: scripted `down` on path 0 at 10.00 s"),
+            "{text}"
+        );
+        assert!(text.contains("RTO expired"), "{text}");
+        assert!(text.contains("path 0 <-> conn 0"), "{text}");
+    }
+
+    #[test]
+    fn clean_trace_reports_nothing_to_explain() {
+        let mut t = failover_trace();
+        t.events.retain(|e| {
+            !matches!(
+                e.kind,
+                EventKind::PathEvent { .. } | EventKind::RtoTimeout { .. }
+            )
+        });
+        let text = render_report(
+            &t,
+            &ReportOptions {
+                rate_pps: 1.0,
+                tau_s: 20.0,
+                window_s: 10.0,
+                bucket_s: 10.0,
+            },
+        );
+        assert!(text.contains("0 glitch(es)"), "{text}");
+        assert!(text.contains("nothing to explain"), "{text}");
+    }
+}

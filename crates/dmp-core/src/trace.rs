@@ -29,6 +29,10 @@ pub struct StreamTrace {
     /// End of the observation window, ns (used to discard the tail whose
     /// packets had no chance to arrive).
     end_ns: u64,
+    /// Run label quoted in panic messages. Experiments run inside a worker
+    /// pool with panic isolation; "which of the 120 jobs blew up" must be
+    /// readable from the panic text alone.
+    label: String,
 }
 
 impl StreamTrace {
@@ -39,6 +43,26 @@ impl StreamTrace {
             video,
             records: Vec::new(),
             end_ns,
+            label: String::new(),
+        }
+    }
+
+    /// Tag the trace with a run label (quoted in panic messages).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The run label (empty if untagged).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn label_for_panics(&self) -> &str {
+        if self.label.is_empty() {
+            "<unlabelled>"
+        } else {
+            &self.label
         }
     }
 
@@ -48,7 +72,13 @@ impl StreamTrace {
     /// # Panics
     /// Panics if `seq` is not exactly the next expected sequence number.
     pub fn on_generated(&mut self, seq: u64, gen_ns: u64) {
-        assert_eq!(seq as usize, self.records.len(), "generation out of order");
+        assert_eq!(
+            seq as usize,
+            self.records.len(),
+            "generation out of order: got seq {seq}, expected seq {} (run {})",
+            self.records.len(),
+            self.label_for_panics()
+        );
         self.records.push(DeliveryRecord {
             seq,
             gen_ns,
@@ -59,8 +89,22 @@ impl StreamTrace {
 
     /// Record the arrival of packet `seq` at the client via `path`.
     /// Later duplicates are ignored (first arrival wins).
+    ///
+    /// # Panics
+    /// Panics if `seq` was never generated.
     pub fn on_arrival(&mut self, seq: u64, arrival_ns: u64, path: u8) {
-        let rec = &mut self.records[seq as usize];
+        let generated = self.records.len();
+        let label = if self.label.is_empty() {
+            "<unlabelled>"
+        } else {
+            self.label.as_str()
+        };
+        let Some(rec) = self.records.get_mut(seq as usize) else {
+            panic!(
+                "arrival for ungenerated packet: got seq {seq}, \
+                 only {generated} packets generated so far (run {label})"
+            );
+        };
         if rec.arrival_ns.is_none() {
             rec.arrival_ns = Some(arrival_ns);
             rec.path = path;
@@ -212,6 +256,29 @@ mod tests {
     fn generation_must_be_sequential() {
         let mut t = StreamTrace::new(spec(), 1);
         t.on_generated(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "got seq 3, expected seq 1 (run scn:failover:Dmp:run0)")]
+    fn generation_panic_names_seqs_and_run() {
+        let mut t = StreamTrace::new(spec(), 1).with_label("scn:failover:Dmp:run0");
+        t.on_generated(0, 0);
+        t.on_generated(3, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "got seq 7, only 1 packets generated so far (run live:seed4)")]
+    fn arrival_panic_names_seq_and_run() {
+        let mut t = StreamTrace::new(spec(), 1).with_label("live:seed4");
+        t.on_generated(0, 0);
+        t.on_arrival(7, 50, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "(run <unlabelled>)")]
+    fn unlabelled_traces_say_so() {
+        let mut t = StreamTrace::new(spec(), 1);
+        t.on_arrival(0, 0, 0);
     }
 
     #[test]

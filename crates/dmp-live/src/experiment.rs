@@ -51,6 +51,11 @@ pub struct LiveExperiment {
     /// resamplers. `None` = the profiles' own random processes. Step times
     /// are nominal; dilation is applied internally.
     pub schedules: Option<Vec<scenario::PathSchedule>>,
+    /// When set, record an [`obs`] flight-recorder trace under this label:
+    /// the same JSONL schema the simulator emits, timestamped in *nominal*
+    /// nanoseconds (dilated runs are rescaled), written to
+    /// [`obs::default_trace_dir`] and registered for the harness sidecars.
+    pub trace_label: Option<String>,
 }
 
 impl LiveExperiment {
@@ -171,6 +176,7 @@ pub async fn run_experiment(exp: &LiveExperiment, taus_s: &[f64]) -> std::io::Re
         },
         packets: exp.packets,
         send_buf_bytes: exp.send_buf_bytes,
+        trace: exp.trace_label.is_some(),
     };
     let max_tau = taus_s.iter().cloned().fold(1.0, f64::max);
     let grace = Duration::from_secs_f64((max_tau.min(15.0) + 2.0) / f);
@@ -193,6 +199,35 @@ pub async fn run_experiment(exp: &LiveExperiment, taus_s: &[f64]) -> std::io::Re
             })
             .collect();
         crate::telemetry::record_timeline(format!("seed{}-path{k}", exp.seed), timeline);
+    }
+    if let Some(label) = &exp.trace_label {
+        // Rescale event timestamps to nominal time, prepend the path↔conn
+        // header (live "connections" are the path socket indices), and sort:
+        // tasks interleave, so collection order is not time order.
+        let mut events: Vec<obs::TraceEvent> = (0..exp.paths.len())
+            .map(|k| obs::TraceEvent {
+                t: 0,
+                kind: obs::EventKind::PathConn {
+                    path: k as u32,
+                    conn: k as u32,
+                },
+            })
+            .collect();
+        events.extend(output.trace_events.drain(..).map(|mut e| {
+            if f != 1.0 {
+                e.t = (e.t as f64 * f).round() as u64;
+            }
+            e
+        }));
+        events.sort_by_key(|e| e.t);
+        let path = obs::default_trace_dir().join(format!("{}.jsonl", obs::sanitize_label(label)));
+        let mut rec = obs::Recorder::to_file(obs::TraceConfig::default(), &path)?;
+        for e in &events {
+            rec.emit(e.t, e.kind.clone());
+        }
+        let written = rec.finish()?;
+        obs::record_trace_file(label.clone(), path, written.events);
+        output.trace_events = events;
     }
     let report = LatenessReport::from_trace(&output.trace, taus_s);
     let est_paths = (0..exp.paths.len())
@@ -234,6 +269,7 @@ mod tests {
             seed: 3,
             time_dilation: 1.0,
             schedules: None,
+            trace_label: None,
         }
     }
 
@@ -294,6 +330,50 @@ mod tests {
                 (span_s - nominal_s).abs() < 0.1 * nominal_s,
                 "generation span {span_s:.2}s vs nominal {nominal_s:.2}s"
             );
+        })
+    }
+
+    #[test]
+    fn traced_live_run_writes_nominal_time_jsonl_and_registers_it() {
+        tokio::runtime::Runtime::new().unwrap().block_on(async {
+            // The live layer writes to obs::default_trace_dir(); point it at
+            // a temp dir (no other test in this binary reads the variable).
+            let dir = std::env::temp_dir().join(format!("dmp-live-trace-{}", std::process::id()));
+            std::env::set_var("DMP_TRACE_DIR", &dir);
+            let mut exp = two_path_exp(1_200_000.0, 1_200_000.0, 100.0, 200);
+            exp.time_dilation = 4.0; // exercise the nominal-time rescale
+            exp.trace_label = Some("live:test:seed3".into());
+            let run = run_experiment(&exp, &[2.0]).await.unwrap();
+            std::env::remove_var("DMP_TRACE_DIR");
+
+            let files = obs::drain_trace_files();
+            let f = files
+                .iter()
+                .find(|f| f.label == "live:test:seed3")
+                .expect("trace file registered");
+            let text = std::fs::read_to_string(&f.path).unwrap();
+            let trace = obs::Trace::parse(&text).unwrap();
+            assert_eq!(f.events, text.lines().count() as u64);
+            // Nominal-time check: 200 packets at a nominal 100 pkt/s span
+            // ~2 s; on the 4×-dilated execution clock they'd span ~0.5 s.
+            let span = trace.duration_s();
+            assert!(
+                span > 1.5 && span < 8.0,
+                "trace span {span} s is not on the nominal clock"
+            );
+            // The schema mirrors the simulator: header + scheduler + client.
+            assert_eq!(trace.path_conn_map(), vec![(0, 0), (1, 1)]);
+            assert!(text.contains("\"ev\":\"pull\""));
+            assert!(text.contains("\"ev\":\"gen\""));
+            assert!(text.contains("\"ev\":\"dlv\""));
+            // Events came from concurrent tasks but the file is time-sorted.
+            let ts: Vec<u64> = trace.events.iter().map(|e| e.t).collect();
+            assert!(
+                ts.windows(2).all(|w| w[0] <= w[1]),
+                "trace must be time-sorted"
+            );
+            assert!(run.output.trace.delivered() >= 199);
+            std::fs::remove_dir_all(&dir).ok();
         })
     }
 

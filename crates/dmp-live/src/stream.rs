@@ -15,6 +15,7 @@ use std::time::Duration;
 
 use dmp_core::spec::VideoSpec;
 use dmp_core::trace::StreamTrace;
+use obs::{EventKind, TraceEvent};
 use parking_lot::Mutex;
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpSocket, TcpStream};
@@ -33,13 +34,20 @@ struct LiveQueue {
 }
 
 impl LiveQueue {
-    fn push(&self, f: Frame) {
-        self.q.lock().push_back(f);
+    /// Push a frame; returns the queue depth after the push.
+    fn push(&self, f: Frame) -> usize {
+        let mut q = self.q.lock();
+        q.push_back(f);
+        let depth = q.len();
+        drop(q);
         self.notify.notify_waiters();
+        depth
     }
 
-    fn pop(&self) -> Option<Frame> {
-        self.q.lock().pop_front()
+    /// Pop the head frame together with the depth left behind it.
+    fn pop(&self) -> Option<(Frame, usize)> {
+        let mut q = self.q.lock();
+        q.pop_front().map(|f| (f, q.len()))
     }
 
     fn finish(&self) {
@@ -63,6 +71,11 @@ pub struct LiveConfig {
     /// implicit bandwidth inference sharp (the paper relies on the sender
     /// blocking when the buffer fills).
     pub send_buf_bytes: u32,
+    /// Collect an [`obs`] event trace (generation, pull decisions, server
+    /// queue depth, deliveries) in [`LiveOutput::trace_events`]. Timestamps
+    /// are on the run's execution clock; time-dilated experiments rescale
+    /// them to nominal time afterwards.
+    pub trace: bool,
 }
 
 /// Outcome of a live run.
@@ -76,6 +89,10 @@ pub struct LiveOutput {
     /// [`run_stream`], rescaled to the nominal timeline by time-dilated
     /// experiments (see `LiveExperiment::time_dilation`).
     pub elapsed: Duration,
+    /// Collected [`obs`] events (empty unless [`LiveConfig::trace`] was set).
+    /// Unsorted — producers on different tasks interleave; sort by timestamp
+    /// before writing.
+    pub trace_events: Vec<TraceEvent>,
 }
 
 /// Stream a video from an in-process server to an in-process client over the
@@ -98,11 +115,17 @@ pub async fn run_stream(
         (cfg.packets as f64 * cfg.video.gen_interval_s() * 1e9) as u64 + grace.as_nanos() as u64;
     let trace = Arc::new(Mutex::new(StreamTrace::new(cfg.video, horizon_ns)));
     let queue = Arc::new(LiveQueue::default());
+    // One shared event log for all tasks; unlike the simulator there is no
+    // single-threaded dispatch loop to serialise emission, so events are
+    // sorted by timestamp when the experiment writes them out.
+    let events: Option<Arc<Mutex<Vec<TraceEvent>>>> =
+        cfg.trace.then(|| Arc::new(Mutex::new(Vec::new())));
 
     // --- client readers (accept before the server connects) ---
     let mut reader_handles = Vec::new();
     for (path, listener) in listeners.into_iter().enumerate() {
         let trace = Arc::clone(&trace);
+        let events = events.clone();
         reader_handles.push(tokio::spawn(async move {
             let (mut sock, _) = listener.accept().await?;
             sock.set_nodelay(true)?;
@@ -119,6 +142,15 @@ pub async fn run_stream(
                                 Ok(frame) => {
                                     let now = epoch.elapsed().as_nanos() as u64;
                                     trace.lock().on_arrival(frame.seq, now, path as u8);
+                                    if let Some(ev) = &events {
+                                        ev.lock().push(TraceEvent {
+                                            t: now,
+                                            kind: EventKind::Delivered {
+                                                path: path as u32,
+                                                seq: frame.seq,
+                                            },
+                                        });
+                                    }
                                     received += 1;
                                 }
                                 Err(wire::DecodeError::Incomplete) => break,
@@ -139,12 +171,13 @@ pub async fn run_stream(
 
     // --- per-path senders ---
     let mut sender_handles = Vec::new();
-    for &addr in path_addrs {
+    for (path, &addr) in path_addrs.iter().enumerate() {
         let socket = TcpSocket::new_v4()?;
         socket.set_send_buffer_size(cfg.send_buf_bytes)?;
         let mut sock: TcpStream = socket.connect(addr).await?;
         sock.set_nodelay(true)?;
         let queue = Arc::clone(&queue);
+        let events = events.clone();
         let packet_bytes = cfg.video.packet_bytes as usize;
         sender_handles.push(tokio::spawn(async move {
             let mut out = bytes::BytesMut::with_capacity(packet_bytes);
@@ -153,7 +186,17 @@ pub async fn run_stream(
                 // write it; a blocked write_all keeps this sender away from
                 // the queue while others pull.
                 match queue.pop() {
-                    Some(frame) => {
+                    Some((frame, left)) => {
+                        if let Some(ev) = &events {
+                            ev.lock().push(TraceEvent {
+                                t: epoch.elapsed().as_nanos() as u64,
+                                kind: EventKind::Pull {
+                                    path: path as u32,
+                                    seq: frame.seq,
+                                    queued: left as u32,
+                                },
+                            });
+                        }
                         out.clear();
                         wire::encode(&frame, packet_bytes, &mut out);
                         if sock.write_all(&out).await.is_err() {
@@ -177,7 +220,20 @@ pub async fn run_stream(
         tokio::time::sleep_until(next).await;
         let gen_ns = epoch.elapsed().as_nanos() as u64;
         trace.lock().on_generated(seq, gen_ns);
-        queue.push(Frame { seq, gen_ns });
+        let depth = queue.push(Frame { seq, gen_ns });
+        if let Some(ev) = &events {
+            let mut ev = ev.lock();
+            ev.push(TraceEvent {
+                t: gen_ns,
+                kind: EventKind::Generated { seq },
+            });
+            ev.push(TraceEvent {
+                t: gen_ns,
+                kind: EventKind::SrvQueue {
+                    depth: depth as u32,
+                },
+            });
+        }
     }
     queue.finish();
 
@@ -197,10 +253,16 @@ pub async fn run_stream(
     }
 
     let trace = trace.lock().clone();
+    // Snapshot rather than unwrap the Arc: a reader still blocked on a
+    // straggling tail holds its clone past the grace timeout.
+    let trace_events = events
+        .map(|e| std::mem::take(&mut *e.lock()))
+        .unwrap_or_default();
     Ok(LiveOutput {
         trace,
         per_path_packets,
         elapsed: epoch.elapsed(),
+        trace_events,
     })
 }
 
@@ -228,6 +290,7 @@ mod tests {
             },
             packets,
             send_buf_bytes: 16 * 1024,
+            trace: false,
         }
     }
 
@@ -241,6 +304,52 @@ mod tests {
             assert_eq!(out.trace.generated(), 200);
             assert_eq!(out.trace.delivered(), 200);
             assert_eq!(out.per_path_packets.iter().sum::<u64>(), 200);
+        })
+    }
+
+    #[test]
+    fn traced_loopback_mirrors_the_sim_schema() {
+        tokio::runtime::Runtime::new().unwrap().block_on(async {
+            let (ls, addrs) = listeners(2).await;
+            let mut c = cfg(100.0, 100);
+            c.trace = true;
+            let out = run_stream(c, &addrs, ls, Duration::from_secs(2))
+                .await
+                .unwrap();
+            assert_eq!(out.trace.delivered(), 100);
+            let gens = out
+                .trace_events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Generated { .. }))
+                .count();
+            let pulls = out
+                .trace_events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Pull { .. }))
+                .count();
+            let dlvs = out
+                .trace_events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Delivered { .. }))
+                .count();
+            assert_eq!(gens, 100);
+            assert_eq!(pulls, 100, "every packet is pulled exactly once");
+            assert_eq!(dlvs, 100);
+            assert!(out
+                .trace_events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::SrvQueue { .. })));
+        })
+    }
+
+    #[test]
+    fn untraced_loopback_collects_nothing() {
+        tokio::runtime::Runtime::new().unwrap().block_on(async {
+            let (ls, addrs) = listeners(1).await;
+            let out = run_stream(cfg(100.0, 50), &addrs, ls, Duration::from_secs(2))
+                .await
+                .unwrap();
+            assert!(out.trace_events.is_empty());
         })
     }
 

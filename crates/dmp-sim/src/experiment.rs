@@ -3,18 +3,89 @@
 //! plus the measured per-path TCP parameters (the `p`, `R`, `T_O`, µ columns
 //! of Tables 2 and 3).
 
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::rc::Rc;
+
 use dmp_core::metrics::{LateFractions, LatenessReport};
 use dmp_core::resilience::{ResilienceReport, ResilienceSpec};
 use dmp_core::spec::{PathSpec, SchedulerKind};
 use dmp_core::stats::OnlineStats;
 use dmp_core::trace::StreamTrace;
 use dmp_runner::{JobSpec, Json, JsonCodec};
-use netsim::{secs, EngineKind, Sim};
+use netsim::{secs, EngineKind, Sim, SimTracer};
+use obs::{Recorder, TraceConfig};
 use scenario::{PathBinding, Scenario, ScenarioDriver};
 
 use crate::configs::{config, Setting};
 use crate::topology::{attach_background, build_correlated_scenario, video_tcp, Topology};
 use crate::video::{shared_trace, DmpServer, StaticServer, VideoClient};
+
+/// Flight-recorder configuration for one run.
+///
+/// When `enabled`, the run records an [`obs`] event trace — TCP state
+/// transitions of the video flows, bottleneck/server queue occupancy,
+/// pull/stripe decisions, deliveries, and scripted path events — and writes
+/// it as `<sanitised-label>.jsonl` under `dir` (default
+/// [`obs::default_trace_dir`]), registering the file in the process-wide
+/// [`obs::registry`](obs::drain_trace_files) for harnesses to reference from
+/// their `.meta.json` sidecars.
+///
+/// `Debug` (and therefore [`ExperimentSpec::config_repr`]) prints only the
+/// semantic fields: the label and directory name the output file, not the
+/// simulation. Trace-enabled jobs are marked uncacheable by [`batch_jobs`] /
+/// [`scenario_batch_jobs`] anyway — a cached summary would skip the
+/// simulation and write no trace.
+#[derive(Clone)]
+pub struct TraceSpec {
+    /// Record a trace for this run.
+    pub enabled: bool,
+    /// In-memory ring capacity before spilling to the file, events.
+    pub ring: usize,
+    /// Emit every Nth queue-occupancy change per queue.
+    pub decimation: u32,
+    /// Run label; the trace file stem is `obs::sanitize_label(label)`.
+    /// When empty a label is derived from setting/scheduler/seed.
+    pub label: String,
+    /// Output directory (`None`: [`obs::default_trace_dir`]).
+    pub dir: Option<PathBuf>,
+}
+
+impl TraceSpec {
+    /// Tracing disabled (the default; runs behave exactly as before the
+    /// flight recorder existed, byte for byte).
+    pub fn off() -> Self {
+        let cfg = TraceConfig::default();
+        Self {
+            enabled: false,
+            ring: cfg.ring_capacity,
+            decimation: cfg.queue_decimation,
+            label: String::new(),
+            dir: None,
+        }
+    }
+
+    /// Tracing enabled under `label` with default tuning.
+    pub fn on(label: impl Into<String>) -> Self {
+        Self {
+            enabled: true,
+            label: label.into(),
+            ..Self::off()
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceSpec {
+    /// Only semantic fields: `config_repr` embeds this, and the label/dir
+    /// must not fragment the cache key space.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSpec")
+            .field("enabled", &self.enabled)
+            .field("ring", &self.ring)
+            .field("decimation", &self.decimation)
+            .finish()
+    }
+}
 
 /// Specification of one simulation run.
 #[derive(Debug, Clone)]
@@ -46,6 +117,10 @@ pub struct ExperimentSpec {
     /// exactly the paper's setups). Event times are relative to the start of
     /// the video, i.e. `warmup_s` is added on top.
     pub scenario: Scenario,
+    /// Flight-recorder configuration (off by default; recording is
+    /// behaviour-neutral, so traced and untraced runs produce identical
+    /// results).
+    pub trace: TraceSpec,
     /// RNG seed.
     pub seed: u64,
 }
@@ -64,6 +139,7 @@ impl ExperimentSpec {
             video_flavor: netsim::tcp::TcpFlavor::Reno,
             engine: EngineKind::default(),
             scenario: Scenario::default(),
+            trace: TraceSpec::off(),
             seed,
         }
     }
@@ -83,8 +159,10 @@ impl ExperimentSpec {
         // `engine` field.
         // v3: the spec gained the `scenario` field and topologies gained
         // flash-flow provisioning.
+        // v4: the spec gained the `trace` field (semantic knobs only; labels
+        // and output paths are excluded from `TraceSpec`'s `Debug`).
         format!(
-            "dmp-sim/v3/{self:?}/scenario#{:016x}",
+            "dmp-sim/v4/{self:?}/scenario#{:016x}",
             self.scenario.stable_hash()
         )
     }
@@ -167,6 +245,47 @@ pub fn run(spec: &ExperimentSpec) -> RunOutput {
     };
     attach_background(&mut sim, &topo, &cfgs, spec.seed);
 
+    // Flight recorder: every flow and link exists by now, so the tracer can
+    // opt the video flows and bottlenecks in before anything runs. Recording
+    // is behaviour-neutral — it reads state but never mutates it, draws no
+    // randomness, and schedules no events.
+    let recording = if spec.trace.enabled {
+        let label = if spec.trace.label.is_empty() {
+            format!("{}_{:?}_seed{}", setting.name, spec.scheduler, spec.seed)
+        } else {
+            spec.trace.label.clone()
+        };
+        let dir = spec
+            .trace
+            .dir
+            .clone()
+            .unwrap_or_else(obs::default_trace_dir);
+        let path = dir.join(format!("{}.jsonl", obs::sanitize_label(&label)));
+        let cfg = TraceConfig {
+            ring_capacity: spec.trace.ring,
+            queue_decimation: spec.trace.decimation,
+        };
+        let rec = Rc::new(RefCell::new(
+            Recorder::to_file(cfg, &path).expect("create trace file"),
+        ));
+        let mut tracer = SimTracer::new(Rc::clone(&rec));
+        for (k, h) in topo.paths.iter().enumerate() {
+            tracer.trace_flow(h.video_flow);
+            tracer.trace_link(h.bottleneck);
+            tracer.emit(
+                0,
+                obs::EventKind::PathConn {
+                    path: k as u32,
+                    conn: h.video_flow,
+                },
+            );
+        }
+        sim.set_tracer(tracer);
+        Some((rec, path, label))
+    } else {
+        None
+    };
+
     if !spec.scenario.is_empty() {
         // On correlated topologies every path shares one flash-flow pool;
         // hand out disjoint slices so concurrent crowds don't collide.
@@ -246,6 +365,17 @@ pub fn run(spec: &ExperimentSpec) -> RunOutput {
             }
         })
         .collect();
+
+    if let Some((rec, path, label)) = recording {
+        // The Sim's tracer holds the other recorder handle; drop it first.
+        drop(sim);
+        let rec = Rc::try_unwrap(rec)
+            .ok()
+            .expect("sim dropped its recorder handle")
+            .into_inner();
+        let out = rec.finish().expect("flush trace file");
+        obs::record_trace_file(label, path, out.events);
+    }
 
     RunOutput { trace, paths }
 }
@@ -445,9 +575,22 @@ pub fn scenario_batch_jobs(
                 "scn:{}:{}:{:?}:run{}",
                 spec.scenario.name, spec.setting.name, spec.scheduler, i
             );
-            JobSpec::new(label, config_repr, s.seed, move || {
+            if s.trace.enabled {
+                // The engine goes into the file stem (not the job label): a
+                // mixed-engine batch — the differential targets — would
+                // otherwise have two concurrent jobs writing the same path.
+                s.trace.label = format!("{label}:{:?}", s.engine);
+            }
+            let traced = s.trace.enabled;
+            let job = JobSpec::new(label, config_repr, s.seed, move || {
                 run_scenario_summary(&s, &taus, resilience)
-            })
+            });
+            // A cache hit would skip the simulation and write no trace file.
+            if traced {
+                job.uncacheable()
+            } else {
+                job
+            }
         })
         .collect()
 }
@@ -464,7 +607,18 @@ pub fn batch_jobs(spec: &ExperimentSpec, runs: usize, taus_s: &[f64]) -> Vec<Job
             let taus: Vec<f64> = taus_s.to_vec();
             let config_repr = format!("{}/taus{:?}", s.config_repr(), taus);
             let label = format!("sim:{}:{:?}:run{}", spec.setting.name, spec.scheduler, i);
-            JobSpec::new(label, config_repr, s.seed, move || run_summary(&s, &taus))
+            if s.trace.enabled {
+                // Engine in the file stem, as in `scenario_batch_jobs`.
+                s.trace.label = format!("{label}:{:?}", s.engine);
+            }
+            let traced = s.trace.enabled;
+            let job = JobSpec::new(label, config_repr, s.seed, move || run_summary(&s, &taus));
+            // A cache hit would skip the simulation and write no trace file.
+            if traced {
+                job.uncacheable()
+            } else {
+                job
+            }
         })
         .collect()
 }

@@ -40,5 +40,5 @@ pub use configs::{
 };
 pub use experiment::{
     batch_jobs, run, run_batch, run_scenario_summary, run_summary, scenario_batch_jobs,
-    BatchOutput, ExperimentSpec, MeasuredPath, RunOutput, RunSummary, ScenarioSummary,
+    BatchOutput, ExperimentSpec, MeasuredPath, RunOutput, RunSummary, ScenarioSummary, TraceSpec,
 };

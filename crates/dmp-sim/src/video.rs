@@ -72,13 +72,27 @@ impl DmpServer {
     fn fill(&mut self, api: &mut SimApi<'_>, start: usize) {
         let k = self.flows.len();
         for i in 0..k {
-            let flow = self.flows[(start + i) % k];
+            let path = (start + i) % k;
+            let flow = self.flows[path];
             loop {
                 let space = api.free_space(flow);
                 if space == 0 || self.queue.is_empty() {
                     break;
                 }
-                for p in self.queue.pull(space) {
+                let pulled = self.queue.pull(space);
+                if api.trace_enabled() {
+                    // The pull decision precedes the data entering the stack.
+                    let after = self.queue.len();
+                    for (j, p) in pulled.iter().enumerate() {
+                        api.trace_emit(obs::EventKind::Pull {
+                            path: path as u32,
+                            seq: p.seq,
+                            queued: (after + pulled.len() - 1 - j) as u32,
+                        });
+                    }
+                    api.trace_srv_queue(after);
+                }
+                for p in pulled {
                     let ok = api.push_chunk(flow, chunk_of(p));
                     debug_assert!(ok, "space was checked");
                 }
@@ -116,6 +130,10 @@ impl App for DmpServer {
             seq: self.next_seq,
             gen_ns: now,
         });
+        if api.trace_enabled() {
+            api.trace_emit(obs::EventKind::Generated { seq: self.next_seq });
+            api.trace_srv_queue(self.queue.len());
+        }
         self.next_seq += 1;
         let start = self.rr;
         self.rr = (self.rr + 1) % self.flows.len();
@@ -198,6 +216,13 @@ impl App for StaticServer {
             seq: self.next_seq,
             gen_ns: now,
         });
+        if api.trace_enabled() {
+            api.trace_emit(obs::EventKind::Generated { seq: self.next_seq });
+            api.trace_emit(obs::EventKind::Stripe {
+                path: k as u32,
+                seq: self.next_seq,
+            });
+        }
         self.next_seq += 1;
         self.fill_path(api, k);
         api.schedule_in(self.interval, 0);
@@ -247,6 +272,14 @@ impl App for VideoClient {
         let mut trace = self.trace.borrow_mut();
         for c in chunks {
             trace.on_arrival(c.stream_seq, now, path);
+        }
+        if api.trace_enabled() {
+            for c in chunks {
+                api.trace_emit(obs::EventKind::Delivered {
+                    path: u32::from(path),
+                    seq: c.stream_seq,
+                });
+            }
         }
     }
 }

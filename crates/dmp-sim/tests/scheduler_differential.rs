@@ -9,10 +9,11 @@
 //! cache is configured (`DMP_CACHE_DIR`) the two engines can never be served
 //! each other's cached summaries.
 
+use dmp_core::resilience::ResilienceSpec;
 use dmp_core::spec::SchedulerKind;
 use dmp_runner::{Cache, JsonCodec, Runner};
-use dmp_sim::configs::{CORRELATED, HETEROGENEOUS, HOMOGENEOUS};
-use dmp_sim::experiment::{batch_jobs, ExperimentSpec, RunSummary};
+use dmp_sim::configs::{setting, CORRELATED, HETEROGENEOUS, HOMOGENEOUS};
+use dmp_sim::experiment::{batch_jobs, scenario_batch_jobs, ExperimentSpec, RunSummary, TraceSpec};
 use netsim::EngineKind;
 use scenario::Scenario;
 
@@ -55,6 +56,119 @@ fn calendar_queue_matches_heap_reference_on_every_setting() {
             "setting {name_h}: calendar-queue artifact diverges from the heap reference"
         );
     }
+}
+
+/// A shortened failover scenario batch (two replications), traced or not.
+/// Returns the rendered per-run summaries and, for traced runs, each run's
+/// trace file contents keyed by job label (the process-wide obs registry is
+/// drained, so callers must not run concurrently with other registry users).
+fn failover_batch(
+    engine: EngineKind,
+    threads: usize,
+    trace_dir: Option<&std::path::Path>,
+) -> (Vec<String>, Vec<(String, Vec<u8>)>) {
+    let scn = Scenario::named("failover")
+        .at(20.0, 0, scenario::Event::PathDown)
+        .at(30.0, 0, scenario::Event::PathUp);
+    let mut spec = ExperimentSpec::new(*setting("2-2").unwrap(), SchedulerKind::Dynamic, 60.0, 77);
+    spec.warmup_s = 10.0;
+    spec.engine = engine;
+    spec.scenario = scn;
+    if let Some(dir) = trace_dir {
+        spec.trace = TraceSpec::on(""); // per-run labels come from the jobs
+        spec.trace.dir = Some(dir.to_path_buf());
+    }
+    let res = ResilienceSpec {
+        tau_s: 4.0,
+        window_s: 10.0,
+        fail_at_s: Some(20.0),
+    };
+    let runner = Runner::new(threads, Cache::disabled()).with_progress(false);
+    let cells = runner.run_all(scenario_batch_jobs(&spec, 2, &[4.0], res));
+    let rendered = cells
+        .iter()
+        .map(|c| {
+            c.ok()
+                .expect("simulation job must not fail")
+                .to_json()
+                .render()
+        })
+        .collect();
+    let traces = obs::drain_trace_files()
+        .into_iter()
+        .map(|f| {
+            let bytes = std::fs::read(&f.path).expect("trace file exists");
+            assert_eq!(
+                bytes.iter().filter(|&&b| b == b'\n').count() as u64,
+                f.events,
+                "registered event count must match the file"
+            );
+            // Labels carry an `:<engine>` suffix (one file per job even in
+            // mixed-engine batches); strip it so the cross-engine compare
+            // pairs up the same run.
+            let label = f
+                .label
+                .strip_suffix(&format!(":{engine:?}"))
+                .expect("trace label ends with the engine")
+                .to_string();
+            (label, bytes)
+        })
+        .collect();
+    (rendered, traces)
+}
+
+/// The flight recorder must be invisible in every deterministic result and
+/// the trace itself must be byte-identical across scheduler engines and
+/// runner thread counts. One test function, because the obs registry is
+/// process-global and tests in one binary run concurrently.
+#[test]
+fn tracing_is_result_neutral_and_trace_bytes_are_engine_and_thread_invariant() {
+    let base = std::env::temp_dir().join(format!("dmp-sim-trace-diff-{}", std::process::id()));
+    let dir_cal = base.join("cal");
+    let dir_heap = base.join("heap");
+    let dir_mt = base.join("mt");
+
+    let (untraced, none) = failover_batch(EngineKind::Calendar, 1, None);
+    assert!(
+        none.is_empty(),
+        "untraced runs must register no trace files"
+    );
+
+    let (traced, cal) = failover_batch(EngineKind::Calendar, 1, Some(&dir_cal));
+    assert_eq!(
+        untraced, traced,
+        "tracing changed a deterministic result (it must be behaviour-neutral)"
+    );
+    assert_eq!(cal.len(), 2, "one trace file per replication");
+
+    // Engine invariance: the heap reference dispatches the same events in
+    // the same order, so the trace bytes cannot differ.
+    let (_, heap) = failover_batch(EngineKind::Heap, 1, Some(&dir_heap));
+    assert_eq!(cal, heap, "trace bytes diverge between scheduler engines");
+
+    // Thread-count invariance: each run writes its own file and the registry
+    // drain sorts by label, so 8 workers produce the same bytes as 1.
+    let (_, mt) = failover_batch(EngineKind::Calendar, 8, Some(&dir_mt));
+    assert_eq!(cal, mt, "trace bytes depend on runner thread count");
+
+    // The trace actually contains the layers' events: header, TCP state,
+    // queue samples, scheduler decisions, deliveries, and the scripted fault.
+    let text = String::from_utf8(cal[0].1.clone()).unwrap();
+    for needle in [
+        "\"ev\":\"path_conn\"",
+        "\"ev\":\"cwnd\"",
+        "\"ev\":\"link_q\"",
+        "\"ev\":\"pull\"",
+        "\"ev\":\"gen\"",
+        "\"ev\":\"dlv\"",
+        "\"ev\":\"path_ev\"",
+        "\"action\":\"down\"",
+        "\"action\":\"up\"",
+    ] {
+        assert!(text.contains(needle), "trace is missing {needle}");
+    }
+
+    std::fs::remove_dir_all(&base).ok();
 }
 
 /// A named-but-empty scenario takes a different cache key (so it never

@@ -54,6 +54,7 @@ pub mod slab;
 pub mod tcp;
 pub mod telemetry;
 pub mod time;
+pub mod trace;
 
 pub use app::App;
 pub use link::LinkSpec;
@@ -63,3 +64,4 @@ pub use sim::{Sim, SimApi, SimCounters};
 pub use tcp::{SinkConfig, TcpConfig};
 pub use telemetry::EngineTelemetry;
 pub use time::{millis, secs, to_secs, SimTime, SECOND};
+pub use trace::SimTracer;

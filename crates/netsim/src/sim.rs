@@ -35,6 +35,7 @@ use crate::slab::PacketSlab;
 use crate::tcp::{SinkConfig, TcpConfig, TcpSender, TcpSink};
 use crate::telemetry;
 use crate::time::SimTime;
+use crate::trace::SimTracer;
 
 /// Index of an application in the simulator's arena.
 pub type AppId = u32;
@@ -122,6 +123,9 @@ pub struct Sim {
     events_processed: u64,
     stale_timer_pops: u64,
     deferred_timer_pushes: u64,
+    /// Flight recorder (None = tracing off; the hot path pays one
+    /// predictable branch per hook).
+    tracer: Option<SimTracer>,
 }
 
 impl Sim {
@@ -154,7 +158,23 @@ impl Sim {
             events_processed: 0,
             stale_timer_pops: 0,
             deferred_timer_pushes: 0,
+            tracer: None,
         }
+    }
+
+    /// Install a flight recorder. Flows the tracer opted in (see
+    /// [`SimTracer::trace_flow`]) have their senders flipped to mark-taking
+    /// mode; register flows and links on the tracer *before* installing it.
+    /// Tracing never consumes RNG draws or schedules events, so a traced run
+    /// is behaviourally identical to an untraced one.
+    pub fn set_tracer(&mut self, tracer: SimTracer) {
+        for flow in self.flows.iter() {
+            let sender = &mut self.senders[flow.sender as usize];
+            if tracer.flow_traced(sender.flow) {
+                sender.trace_on = true;
+            }
+        }
+        self.tracer = Some(tracer);
     }
 
     // ------------------------------------------------------------------
@@ -324,6 +344,12 @@ impl Sim {
             EventKind::LinkTxDone(l) => {
                 if let Some(pkt) = self.links[l as usize].tx_done() {
                     self.start_tx(l, pkt);
+                    // A packet left the queue for the transmitter.
+                    if let Some(tr) = self.tracer.as_mut() {
+                        if tr.link_traced(l) {
+                            tr.link_queue_changed(time, l, self.links[l as usize].queue_len());
+                        }
+                    }
                 }
             }
             EventKind::Arrival { node, slot } => {
@@ -419,7 +445,13 @@ impl Sim {
     fn offer_to_link(&mut self, l: LinkId, pkt: Packet) {
         match self.links[l as usize].offer(pkt, &mut self.rng) {
             Offer::StartTx(p) => self.start_tx(l, p),
-            Offer::Queued => {}
+            Offer::Queued => {
+                if let Some(tr) = self.tracer.as_mut() {
+                    if tr.link_traced(l) {
+                        tr.link_queue_changed(self.now, l, self.links[l as usize].queue_len());
+                    }
+                }
+            }
             Offer::Dropped(p) => {
                 let c = &mut self.flow_counters[p.flow as usize];
                 match p.kind {
@@ -471,6 +503,14 @@ impl Sim {
     fn flush_sender(&mut self, sender_id: u32) {
         let s = sender_id as usize;
         let (node, flow) = (self.senders[s].node, self.senders[s].flow);
+        // Drain trace marks before routing the outbox: the state transitions
+        // they describe logically precede the packets they caused.
+        if !self.senders[s].marks.is_empty() {
+            match self.tracer.as_mut() {
+                Some(tr) => tr.drain_marks(flow, &mut self.senders[s].marks),
+                None => self.senders[s].marks.clear(),
+            }
+        }
         let mut pkts = std::mem::take(&mut self.senders[s].outbox);
         for pkt in pkts.drain(..) {
             self.route_from(node, pkt);
@@ -638,6 +678,34 @@ impl SimApi<'_> {
     }
 
     // ------------------------------------------------------------------
+    // Flight-recorder hooks. All are no-ops when no tracer is installed,
+    // so apps can call them unconditionally on the hot path.
+    // ------------------------------------------------------------------
+
+    /// Whether a flight recorder is installed (lets apps skip building
+    /// event payloads entirely when tracing is off).
+    pub fn trace_enabled(&self) -> bool {
+        self.sim.tracer.is_some()
+    }
+
+    /// Emit a trace event stamped with the current simulated time.
+    pub fn trace_emit(&mut self, kind: obs::EventKind) {
+        let now = self.sim.now;
+        if let Some(tr) = self.sim.tracer.as_mut() {
+            tr.emit(now, kind);
+        }
+    }
+
+    /// Record a depth change of the streaming server's shared pull queue
+    /// (decimated per the trace configuration).
+    pub fn trace_srv_queue(&mut self, depth: usize) {
+        let now = self.sim.now;
+        if let Some(tr) = self.sim.tracer.as_mut() {
+            tr.srv_queue_changed(now, depth);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Link mutation (fault injection / path dynamics). Scheduled from an
     // app timer these become ordinary engine events, so scripted scenarios
     // stay byte-identical across scheduler implementations.
@@ -669,11 +737,20 @@ impl SimApi<'_> {
     /// still arrives, as on a real link failure.
     pub fn set_link_down(&mut self, link: LinkId) {
         let flushed = self.sim.links[link as usize].set_admin_down(true);
+        let emptied = !flushed.is_empty();
         for pkt in flushed {
             let c = &mut self.sim.flow_counters[pkt.flow as usize];
             match pkt.kind {
                 PacketKind::Data => c.data_dropped += 1,
                 PacketKind::Ack => c.acks_dropped += 1,
+            }
+        }
+        if emptied {
+            let now = self.sim.now;
+            if let Some(tr) = self.sim.tracer.as_mut() {
+                if tr.link_traced(link) {
+                    tr.link_queue_changed(now, link, 0);
+                }
             }
         }
     }
@@ -970,6 +1047,68 @@ mod tests {
             "rate cut not applied: {resumed_pps:.0} pkt/s"
         );
         assert!(sim.link(f).stats.admin_dropped > 0);
+    }
+
+    #[test]
+    fn tracing_is_behaviour_neutral_and_engine_invariant() {
+        use crate::trace::SimTracer;
+        use obs::{Recorder, TraceConfig};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // A lossy run exercises retransmits, timeouts, and queue dynamics.
+        let run = |engine: EngineKind, traced: bool| {
+            let mut sim = Sim::with_engine(9, engine);
+            let a = sim.add_node("a");
+            let b = sim.add_node("b");
+            let spec = LinkSpec::from_table(2.0, 20.0, 10).with_random_loss(0.01);
+            let (f, r) = sim.add_duplex(a, b, spec);
+            sim.add_route(a, b, f);
+            sim.add_route(b, a, r);
+            let flow = sim.add_flow(a, b, TcpConfig::default(), SinkConfig::default());
+            let rec = traced.then(|| {
+                let rec = Rc::new(RefCell::new(Recorder::in_memory(TraceConfig {
+                    ring_capacity: 64,
+                    queue_decimation: 2,
+                })));
+                let mut tr = SimTracer::new(Rc::clone(&rec));
+                tr.trace_flow(flow);
+                tr.trace_link(f);
+                sim.set_tracer(tr);
+                rec
+            });
+            sim.add_app(Box::new(FtpStarter { flow }));
+            sim.run_until(60 * SECOND);
+            let outcome = (
+                sim.sink(flow).stats.delivered,
+                sim.sender(flow).stats.retransmits,
+                sim.sender(flow).stats.timeouts,
+                sim.flow_counters(flow).data_dropped,
+                sim.events_processed(),
+            );
+            drop(sim); // release the tracer's recorder handle
+            let text = rec.map(|rec| {
+                let rec = Rc::try_unwrap(rec).ok().expect("sole handle").into_inner();
+                String::from_utf8(rec.finish().unwrap().bytes.unwrap()).unwrap()
+            });
+            (outcome, text)
+        };
+
+        let (plain, none) = run(EngineKind::Calendar, false);
+        assert!(none.is_none());
+        let (traced_cal, trace_cal) = run(EngineKind::Calendar, true);
+        let (traced_heap, trace_heap) = run(EngineKind::Heap, true);
+        assert_eq!(plain, traced_cal, "tracing must not perturb the run");
+        assert_eq!(traced_cal, traced_heap);
+        let tc = trace_cal.unwrap();
+        assert_eq!(
+            tc,
+            trace_heap.unwrap(),
+            "trace bytes must be engine-invariant"
+        );
+        assert!(tc.contains("\"ev\":\"cwnd\""), "missing cwnd events");
+        assert!(tc.contains("\"ev\":\"link_q\""), "missing queue samples");
+        assert!(tc.contains("\"ev\":\"retx\""), "missing retransmit events");
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::packet::{AppChunk, FlowId, NodeId, Packet};
 use crate::tcp::ring::SeqRing;
 use crate::tcp::rtt::RttEstimator;
 use crate::time::{secs, SimTime};
+use crate::trace::TraceMark;
 
 /// Loss-recovery flavour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -144,6 +145,12 @@ pub struct TcpSender {
     pub wake_app: bool,
     /// Set once when a sized backlogged transfer is fully acknowledged.
     pub transfer_complete: bool,
+    /// Flight-recorder opt-in: when set, state transitions push
+    /// [`TraceMark`]s that the engine drains on flush. Off by default, so an
+    /// untraced sender takes one predictable branch per transition.
+    pub trace_on: bool,
+    /// Deferred trace notes since the last flush (empty unless `trace_on`).
+    pub marks: Vec<TraceMark>,
 }
 
 impl TcpSender {
@@ -174,6 +181,19 @@ impl TcpSender {
             timer_dirty: false,
             wake_app: false,
             transfer_complete: false,
+            trace_on: false,
+            marks: Vec::new(),
+        }
+    }
+
+    /// Note the current cwnd/ssthresh as a trace mark (call after a change).
+    fn mark_cwnd(&mut self, t: SimTime) {
+        if self.trace_on {
+            self.marks.push(TraceMark::Cwnd {
+                t,
+                cwnd: self.cwnd,
+                ssthresh: self.ssthresh,
+            });
         }
     }
 
@@ -367,6 +387,14 @@ impl TcpSender {
                 // recovery.
                 self.cwnd = (self.cwnd - newly_acked as f64 + 1.0).max(1.0);
                 self.retransmit_head();
+                if self.trace_on {
+                    self.marks.push(TraceMark::Retransmit {
+                        t: now,
+                        seq: self.snd_una,
+                        fast: true,
+                    });
+                }
+                self.mark_cwnd(now);
                 self.arm_timer(now);
                 self.try_send(now);
                 self.wake_app = true;
@@ -375,7 +403,15 @@ impl TcpSender {
             // Full ACK (or classic Reno): deflate to ssthresh and exit.
             self.cwnd = self.ssthresh.max(1.0);
             self.in_recovery = false;
+            if self.trace_on {
+                self.marks.push(TraceMark::FastRecovery {
+                    t: now,
+                    entered: false,
+                });
+            }
+            self.mark_cwnd(now);
         } else if std::mem::take(&mut self.cwnd_limited) {
+            let before = self.cwnd;
             if self.cwnd < self.ssthresh {
                 // Slow start: +1 per ACK received (delayed ACKs halve the
                 // rate, as in real stacks without ABC).
@@ -383,6 +419,9 @@ impl TcpSender {
             } else {
                 // Congestion avoidance: +1/cwnd per ACK.
                 self.cwnd = (self.cwnd + 1.0 / self.cwnd).min(f64::from(self.cfg.max_wnd));
+            }
+            if self.cwnd != before {
+                self.mark_cwnd(now);
             }
         }
         let _ = newly_acked;
@@ -408,6 +447,18 @@ impl TcpSender {
             self.in_recovery = true;
             self.stats.fast_retransmits += 1;
             self.arm_timer(now);
+            if self.trace_on {
+                self.marks.push(TraceMark::Retransmit {
+                    t: now,
+                    seq: self.snd_una,
+                    fast: true,
+                });
+                self.marks.push(TraceMark::FastRecovery {
+                    t: now,
+                    entered: true,
+                });
+            }
+            self.mark_cwnd(now);
         }
     }
 
@@ -426,6 +477,19 @@ impl TcpSender {
         self.backoff_exp = (self.backoff_exp + 1).min(self.cfg.max_backoff_exp);
         self.retransmit_head();
         self.arm_timer(now);
+        if self.trace_on {
+            self.marks.push(TraceMark::Timeout {
+                t: now,
+                seq: self.snd_una,
+                backoff_exp: self.backoff_exp,
+            });
+            self.marks.push(TraceMark::Retransmit {
+                t: now,
+                seq: self.snd_una,
+                fast: false,
+            });
+        }
+        self.mark_cwnd(now);
         self.check_transfer_complete();
     }
 

@@ -44,6 +44,32 @@ pub struct EngineTelemetry {
     pub random_loss_drops: u64,
 }
 
+impl EngineTelemetry {
+    /// Attribute engine activity to a phase bounded by two snapshots:
+    /// monotone counts subtract (`self` is the later reading), high-water
+    /// marks take the max — a HWM is a peak, not a rate, so "the HWM during
+    /// this phase" is the larger of the two readings, never a difference.
+    pub fn delta(&self, earlier: &EngineTelemetry) -> EngineTelemetry {
+        EngineTelemetry {
+            events_processed: self
+                .events_processed
+                .saturating_sub(earlier.events_processed),
+            stale_timer_pops: self
+                .stale_timer_pops
+                .saturating_sub(earlier.stale_timer_pops),
+            deferred_timer_pushes: self
+                .deferred_timer_pushes
+                .saturating_sub(earlier.deferred_timer_pushes),
+            wheel_hwm: self.wheel_hwm.max(earlier.wheel_hwm),
+            far_hwm: self.far_hwm.max(earlier.far_hwm),
+            slab_hwm: self.slab_hwm.max(earlier.slab_hwm),
+            random_loss_drops: self
+                .random_loss_drops
+                .saturating_sub(earlier.random_loss_drops),
+        }
+    }
+}
+
 /// Fold one simulation's counters into the process-wide totals. Called from
 /// `Sim`'s `Drop`.
 pub(crate) fn merge(c: &SimCounters) {
@@ -67,5 +93,53 @@ pub fn snapshot() -> EngineTelemetry {
         far_hwm: FAR_HWM.load(Ordering::Relaxed),
         slab_hwm: SLAB_HWM.load(Ordering::Relaxed),
         random_loss_drops: RANDOM_LOSS_DROPS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_counts_and_maxes_hwms() {
+        let before = EngineTelemetry {
+            events_processed: 1_000,
+            stale_timer_pops: 10,
+            deferred_timer_pushes: 20,
+            wheel_hwm: 64,
+            far_hwm: 8,
+            slab_hwm: 100,
+            random_loss_drops: 3,
+        };
+        let after = EngineTelemetry {
+            events_processed: 1_500,
+            stale_timer_pops: 12,
+            deferred_timer_pushes: 29,
+            wheel_hwm: 80,
+            far_hwm: 8,
+            slab_hwm: 90, // relaxed loads may read the two maxima out of
+            // order; the delta must still report a peak, never subtract
+            random_loss_drops: 3,
+        };
+        let d = after.delta(&before);
+        assert_eq!(d.events_processed, 500);
+        assert_eq!(d.stale_timer_pops, 2);
+        assert_eq!(d.deferred_timer_pushes, 9);
+        assert_eq!(d.random_loss_drops, 0);
+        assert_eq!(d.wheel_hwm, 80, "HWMs take the max, not the difference");
+        assert_eq!(d.far_hwm, 8);
+        assert_eq!(d.slab_hwm, 100);
+    }
+
+    #[test]
+    fn delta_against_self_zeroes_counts_keeps_peaks() {
+        let t = EngineTelemetry {
+            events_processed: 7,
+            wheel_hwm: 5,
+            ..EngineTelemetry::default()
+        };
+        let d = t.delta(&t);
+        assert_eq!(d.events_processed, 0);
+        assert_eq!(d.wheel_hwm, 5);
     }
 }

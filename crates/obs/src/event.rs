@@ -1,0 +1,487 @@
+//! The trace event schema and its JSONL wire format.
+//!
+//! One event per line, one flat JSON object per event, fields in a fixed
+//! order — the encoding is fully deterministic (floats use Rust's shortest
+//! round-trip formatting), so byte-comparing two trace files is a valid
+//! equality test. The same schema is used for simulation traces (timestamps
+//! in simulated nanoseconds) and live-socket traces (nominal nanoseconds
+//! since stream start, i.e. wall time divided by the dilation factor).
+
+/// One recorded event: a timestamp in nanoseconds plus the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Nanoseconds since run start (simulated or nominal).
+    pub t: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// A scripted path-dynamics action, as applied by the scenario driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathAction {
+    /// Path administratively downed.
+    Down,
+    /// Path restored.
+    Up,
+    /// Bottleneck rate changed.
+    Rate,
+    /// Propagation delay changed.
+    Delay,
+    /// Bernoulli loss probability set.
+    Loss,
+    /// Bernoulli loss probability cleared.
+    LossClear,
+    /// Flash-crowd flows started.
+    FlashStart,
+    /// Flash-crowd flows stopped.
+    FlashStop,
+}
+
+impl PathAction {
+    /// Wire name of the action.
+    pub fn name(self) -> &'static str {
+        match self {
+            PathAction::Down => "down",
+            PathAction::Up => "up",
+            PathAction::Rate => "rate",
+            PathAction::Delay => "delay",
+            PathAction::Loss => "loss",
+            PathAction::LossClear => "loss_clear",
+            PathAction::FlashStart => "flash_start",
+            PathAction::FlashStop => "flash_stop",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "down" => PathAction::Down,
+            "up" => PathAction::Up,
+            "rate" => PathAction::Rate,
+            "delay" => PathAction::Delay,
+            "loss" => PathAction::Loss,
+            "loss_clear" => PathAction::LossClear,
+            "flash_start" => PathAction::FlashStart,
+            "flash_stop" => PathAction::FlashStop,
+            _ => return None,
+        })
+    }
+}
+
+/// The event payload. `conn` identifies a TCP connection (the netsim flow id
+/// or the live path socket index); `path` identifies a DMP path; a
+/// [`EventKind::PathConn`] header event maps one onto the other.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Header: DMP path `path` rides on TCP connection `conn`.
+    PathConn {
+        /// Path index (0-based).
+        path: u32,
+        /// Connection id.
+        conn: u32,
+    },
+    /// Congestion window or slow-start threshold changed.
+    Cwnd {
+        /// Connection id.
+        conn: u32,
+        /// New congestion window, segments (fractional in avoidance).
+        cwnd: f64,
+        /// Slow-start threshold, segments.
+        ssthresh: f64,
+    },
+    /// Fast recovery entered (`entered = true`) or exited.
+    FastRecovery {
+        /// Connection id.
+        conn: u32,
+        /// Whether recovery began (false: ended).
+        entered: bool,
+    },
+    /// A segment was retransmitted.
+    Retransmit {
+        /// Connection id.
+        conn: u32,
+        /// Segment number.
+        seq: u64,
+        /// Fast retransmit (true) vs timeout-driven (false).
+        fast: bool,
+    },
+    /// The retransmission timer expired.
+    RtoTimeout {
+        /// Connection id.
+        conn: u32,
+        /// Oldest outstanding segment at expiry.
+        seq: u64,
+        /// Backoff exponent after this expiry (RTO multiplier is 2^exp).
+        backoff_exp: u32,
+    },
+    /// Occupancy sample of a link's drop-tail queue (decimated: every Nth
+    /// change per link).
+    LinkQueue {
+        /// Link id.
+        link: u32,
+        /// Queued packets (excluding the one in serialisation).
+        depth: u32,
+    },
+    /// Occupancy sample of the DMP server's shared pull queue.
+    SrvQueue {
+        /// Queued video packets.
+        depth: u32,
+    },
+    /// DMP pull decision: the server handed packet `seq` to `path`.
+    Pull {
+        /// Path index.
+        path: u32,
+        /// Video packet sequence number.
+        seq: u64,
+        /// Shared-queue depth after the pull.
+        queued: u32,
+    },
+    /// Static-split decision: the splitter assigned packet `seq` to `path`.
+    Stripe {
+        /// Path index.
+        path: u32,
+        /// Video packet sequence number.
+        seq: u64,
+    },
+    /// The source generated video packet `seq`.
+    Generated {
+        /// Video packet sequence number.
+        seq: u64,
+    },
+    /// Video packet `seq` arrived at the client over `path`.
+    Delivered {
+        /// Path index.
+        path: u32,
+        /// Video packet sequence number.
+        seq: u64,
+    },
+    /// The scenario driver applied a scripted action to `path`.
+    PathEvent {
+        /// Path index.
+        path: u32,
+        /// Which action.
+        action: PathAction,
+    },
+}
+
+/// Format an `f64` deterministically (Rust's shortest round-trip form, which
+/// is valid JSON for all finite values).
+fn fmt_f64(x: f64) -> String {
+    debug_assert!(x.is_finite(), "trace floats must be finite");
+    format!("{x:?}")
+}
+
+impl TraceEvent {
+    /// Encode as one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let t = self.t;
+        match &self.kind {
+            EventKind::PathConn { path, conn } => {
+                format!("{{\"t\":{t},\"ev\":\"path_conn\",\"path\":{path},\"conn\":{conn}}}")
+            }
+            EventKind::Cwnd {
+                conn,
+                cwnd,
+                ssthresh,
+            } => format!(
+                "{{\"t\":{t},\"ev\":\"cwnd\",\"conn\":{conn},\"cwnd\":{},\"ssthresh\":{}}}",
+                fmt_f64(*cwnd),
+                fmt_f64(*ssthresh)
+            ),
+            EventKind::FastRecovery { conn, entered } => format!(
+                "{{\"t\":{t},\"ev\":\"fastrec\",\"conn\":{conn},\"entered\":{entered}}}"
+            ),
+            EventKind::Retransmit { conn, seq, fast } => format!(
+                "{{\"t\":{t},\"ev\":\"retx\",\"conn\":{conn},\"seq\":{seq},\"fast\":{fast}}}"
+            ),
+            EventKind::RtoTimeout {
+                conn,
+                seq,
+                backoff_exp,
+            } => format!(
+                "{{\"t\":{t},\"ev\":\"rto\",\"conn\":{conn},\"seq\":{seq},\"backoff_exp\":{backoff_exp}}}"
+            ),
+            EventKind::LinkQueue { link, depth } => {
+                format!("{{\"t\":{t},\"ev\":\"link_q\",\"link\":{link},\"depth\":{depth}}}")
+            }
+            EventKind::SrvQueue { depth } => {
+                format!("{{\"t\":{t},\"ev\":\"srv_q\",\"depth\":{depth}}}")
+            }
+            EventKind::Pull { path, seq, queued } => format!(
+                "{{\"t\":{t},\"ev\":\"pull\",\"path\":{path},\"seq\":{seq},\"queued\":{queued}}}"
+            ),
+            EventKind::Stripe { path, seq } => {
+                format!("{{\"t\":{t},\"ev\":\"stripe\",\"path\":{path},\"seq\":{seq}}}")
+            }
+            EventKind::Generated { seq } => format!("{{\"t\":{t},\"ev\":\"gen\",\"seq\":{seq}}}"),
+            EventKind::Delivered { path, seq } => {
+                format!("{{\"t\":{t},\"ev\":\"dlv\",\"path\":{path},\"seq\":{seq}}}")
+            }
+            EventKind::PathEvent { path, action } => format!(
+                "{{\"t\":{t},\"ev\":\"path_ev\",\"path\":{path},\"action\":\"{}\"}}",
+                action.name()
+            ),
+        }
+    }
+
+    /// Parse one JSONL line back into an event. Returns `None` on malformed
+    /// input or an unknown event name (forward compatibility: readers skip
+    /// lines they do not understand).
+    pub fn parse_line(line: &str) -> Option<TraceEvent> {
+        let fields = parse_flat_object(line)?;
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        let num = |k: &str| get(k).and_then(Value::as_f64);
+        let int = |k: &str| num(k).map(|x| x as u64);
+        let t = int("t")?;
+        let ev = match get("ev")? {
+            Value::Str(s) => s.as_str(),
+            _ => return None,
+        };
+        let kind = match ev {
+            "path_conn" => EventKind::PathConn {
+                path: int("path")? as u32,
+                conn: int("conn")? as u32,
+            },
+            "cwnd" => EventKind::Cwnd {
+                conn: int("conn")? as u32,
+                cwnd: num("cwnd")?,
+                ssthresh: num("ssthresh")?,
+            },
+            "fastrec" => EventKind::FastRecovery {
+                conn: int("conn")? as u32,
+                entered: get("entered")?.as_bool()?,
+            },
+            "retx" => EventKind::Retransmit {
+                conn: int("conn")? as u32,
+                seq: int("seq")?,
+                fast: get("fast")?.as_bool()?,
+            },
+            "rto" => EventKind::RtoTimeout {
+                conn: int("conn")? as u32,
+                seq: int("seq")?,
+                backoff_exp: int("backoff_exp")? as u32,
+            },
+            "link_q" => EventKind::LinkQueue {
+                link: int("link")? as u32,
+                depth: int("depth")? as u32,
+            },
+            "srv_q" => EventKind::SrvQueue {
+                depth: int("depth")? as u32,
+            },
+            "pull" => EventKind::Pull {
+                path: int("path")? as u32,
+                seq: int("seq")?,
+                queued: int("queued")? as u32,
+            },
+            "stripe" => EventKind::Stripe {
+                path: int("path")? as u32,
+                seq: int("seq")?,
+            },
+            "gen" => EventKind::Generated { seq: int("seq")? },
+            "dlv" => EventKind::Delivered {
+                path: int("path")? as u32,
+                seq: int("seq")?,
+            },
+            "path_ev" => EventKind::PathEvent {
+                path: int("path")? as u32,
+                action: match get("action")? {
+                    Value::Str(s) => PathAction::from_name(s)?,
+                    _ => return None,
+                },
+            },
+            _ => return None,
+        };
+        Some(TraceEvent { t, kind })
+    }
+}
+
+/// A scalar value in a flat JSON object.
+enum Value {
+    Num(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Value {
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Minimal parser for one flat JSON object (`{"k":v,...}`) with number,
+/// boolean, and (escape-free) string values — exactly the subset the encoder
+/// produces.
+fn parse_flat_object(line: &str) -> Option<Vec<(String, Value)>> {
+    let s = line.trim();
+    let inner = s.strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        rest = rest.strip_prefix('"')?;
+        let kend = rest.find('"')?;
+        let key = rest[..kend].to_string();
+        rest = rest[kend + 1..]
+            .trim_start()
+            .strip_prefix(':')?
+            .trim_start();
+        let (value, after) = if let Some(r) = rest.strip_prefix('"') {
+            let vend = r.find('"')?;
+            (Value::Str(r[..vend].to_string()), &r[vend + 1..])
+        } else if let Some(r) = rest.strip_prefix("true") {
+            (Value::Bool(true), r)
+        } else if let Some(r) = rest.strip_prefix("false") {
+            (Value::Bool(false), r)
+        } else {
+            let vend = rest
+                .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+                .unwrap_or(rest.len());
+            (Value::Num(rest[..vend].parse().ok()?), &rest[vend..])
+        };
+        fields.push((key, value));
+        rest = after.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return None;
+        }
+    }
+    Some(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kinds() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                t: 0,
+                kind: EventKind::PathConn { path: 1, conn: 7 },
+            },
+            TraceEvent {
+                t: 1_500_000_000,
+                kind: EventKind::Cwnd {
+                    conn: 2,
+                    cwnd: 3.5,
+                    ssthresh: 8.0,
+                },
+            },
+            TraceEvent {
+                t: 2,
+                kind: EventKind::FastRecovery {
+                    conn: 0,
+                    entered: true,
+                },
+            },
+            TraceEvent {
+                t: 3,
+                kind: EventKind::Retransmit {
+                    conn: 0,
+                    seq: 88,
+                    fast: false,
+                },
+            },
+            TraceEvent {
+                t: 4,
+                kind: EventKind::RtoTimeout {
+                    conn: 1,
+                    seq: 90,
+                    backoff_exp: 3,
+                },
+            },
+            TraceEvent {
+                t: 5,
+                kind: EventKind::LinkQueue { link: 3, depth: 17 },
+            },
+            TraceEvent {
+                t: 6,
+                kind: EventKind::SrvQueue { depth: 4 },
+            },
+            TraceEvent {
+                t: 7,
+                kind: EventKind::Pull {
+                    path: 1,
+                    seq: 402,
+                    queued: 3,
+                },
+            },
+            TraceEvent {
+                t: 8,
+                kind: EventKind::Stripe { path: 0, seq: 10 },
+            },
+            TraceEvent {
+                t: 9,
+                kind: EventKind::Generated { seq: 5 },
+            },
+            TraceEvent {
+                t: 10,
+                kind: EventKind::Delivered { path: 0, seq: 5 },
+            },
+            TraceEvent {
+                t: 11,
+                kind: EventKind::PathEvent {
+                    path: 0,
+                    action: PathAction::Down,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        for ev in all_kinds() {
+            let line = ev.to_line();
+            let back =
+                TraceEvent::parse_line(&line).unwrap_or_else(|| panic!("failed to parse {line}"));
+            assert_eq!(back, ev, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn fractional_cwnd_survives_exactly() {
+        let ev = TraceEvent {
+            t: 1,
+            kind: EventKind::Cwnd {
+                conn: 0,
+                cwnd: 7.0 + 1.0 / 7.0,
+                ssthresh: 3.5,
+            },
+        };
+        let back = TraceEvent::parse_line(&ev.to_line()).unwrap();
+        assert_eq!(back, ev, "shortest round-trip float formatting is exact");
+    }
+
+    #[test]
+    fn unknown_events_and_garbage_are_skipped_not_fatal() {
+        assert!(TraceEvent::parse_line("{\"t\":1,\"ev\":\"future_thing\",\"x\":2}").is_none());
+        assert!(TraceEvent::parse_line("not json").is_none());
+        assert!(TraceEvent::parse_line("").is_none());
+    }
+
+    #[test]
+    fn encoding_is_stable() {
+        // The wire format is a contract: byte-comparison of trace files is
+        // the determinism test, so the exact bytes matter.
+        let ev = TraceEvent {
+            t: 42,
+            kind: EventKind::Pull {
+                path: 1,
+                seq: 9,
+                queued: 2,
+            },
+        };
+        assert_eq!(
+            ev.to_line(),
+            "{\"t\":42,\"ev\":\"pull\",\"path\":1,\"seq\":9,\"queued\":2}"
+        );
+    }
+}

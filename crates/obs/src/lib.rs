@@ -1,0 +1,91 @@
+//! `obs` — the flight-recorder observability layer.
+//!
+//! Every layer of the stack (the `netsim` engine, the `dmp-sim` scheduler
+//! apps, the `scenario` driver, and the `dmp-live` socket experiments) feeds
+//! one structured event stream with a shared schema: per-connection TCP state
+//! transitions, queue-occupancy samples, per-path pull/stripe decisions, and
+//! scripted path events. Events are timestamped in simulation time (or
+//! nominal time for live runs, so the two are directly comparable) and sink
+//! into a bounded in-memory ring that spills to JSONL — one file per run.
+//!
+//! Three invariants make the recorder safe to leave wired into the hot path:
+//!
+//! * **zero-cost when off** — producers check a flag before constructing any
+//!   event; a disabled run executes the exact same instruction stream and
+//!   consumes the exact same RNG draws as a build that never heard of
+//!   tracing, so deterministic artifacts are byte-identical either way;
+//! * **deterministic when on** — emission is a pure function of simulation
+//!   state, so a trace file is byte-identical across scheduler engines and
+//!   across runner thread counts (each run writes its own file);
+//! * **bounded memory** — the ring holds a fixed number of events and spills
+//!   to its sink when full, so multi-minute traces never accumulate in RAM.
+//!
+//! The [`report`] module parses traces back and computes paper-style
+//! diagnostics (cwnd evolution, per-path throughput timelines, queue-depth
+//! percentiles); the `trace-report` binary in `dmp-bench` builds the
+//! per-glitch "why" report on top.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod recorder;
+pub mod registry;
+pub mod report;
+
+pub use event::{EventKind, PathAction, TraceEvent};
+pub use recorder::{Recorder, TraceConfig};
+pub use registry::{drain_trace_files, record_trace_file, TraceFileRef};
+pub use report::Trace;
+
+use std::path::PathBuf;
+
+/// Default directory trace files are written into: `DMP_TRACE_DIR` if set,
+/// else `traces/` under the artifact directory (`DMP_ARTIFACT_DIR`, default
+/// `target/artifacts` respecting `CARGO_TARGET_DIR`) — mirroring
+/// `dmp-runner`'s `ArtifactWriter::from_env` so traces land next to the
+/// artifacts they explain.
+pub fn default_trace_dir() -> PathBuf {
+    if let Some(d) = std::env::var_os("DMP_TRACE_DIR") {
+        return PathBuf::from(d);
+    }
+    std::env::var_os("DMP_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::var_os("CARGO_TARGET_DIR")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("target"))
+                .join("artifacts")
+        })
+        .join("traces")
+}
+
+/// Sanitise a run label into a file stem: every character outside
+/// `[A-Za-z0-9._-]` becomes `_`. Labels like `scn:failover:Dmp:run0` map to
+/// stable, filesystem-safe names.
+pub fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_sanitise_to_file_stems() {
+        assert_eq!(
+            sanitize_label("scn:failover:Dmp:run0"),
+            "scn_failover_Dmp_run0"
+        );
+        assert_eq!(sanitize_label("a b/c"), "a_b_c");
+        assert_eq!(sanitize_label("ok-1.2_x"), "ok-1.2_x");
+    }
+}

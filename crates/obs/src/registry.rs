@@ -1,0 +1,60 @@
+//! Process-wide registry of trace files written during a harness run.
+//!
+//! Jobs run deep inside worker threads with no channel back to the harness;
+//! like `netsim::telemetry` and `dmp-live`'s timeline registry, trace writers
+//! register here and the harness drains the registry into the volatile
+//! `.meta.json` sidecar after each target, so every artifact references the
+//! traces that explain it.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// A reference to one written trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFileRef {
+    /// The run label the trace belongs to (the runner job label).
+    pub label: String,
+    /// Where the JSONL file was written.
+    pub path: PathBuf,
+    /// Number of events in the file.
+    pub events: u64,
+}
+
+static FILES: Mutex<Vec<TraceFileRef>> = Mutex::new(Vec::new());
+
+/// Register a written trace file.
+pub fn record_trace_file(label: impl Into<String>, path: impl Into<PathBuf>, events: u64) {
+    FILES.lock().unwrap().push(TraceFileRef {
+        label: label.into(),
+        path: path.into(),
+        events,
+    });
+}
+
+/// Take all registered trace files, sorted by label (drain order depends on
+/// worker scheduling; the sort makes sidecar contents thread-count
+/// independent).
+pub fn drain_trace_files() -> Vec<TraceFileRef> {
+    let mut files = std::mem::take(&mut *FILES.lock().unwrap());
+    files.sort_by(|a, b| a.label.cmp(&b.label));
+    files
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_empties_and_sorts() {
+        // Registry is process-global; drain first so parallel tests in this
+        // crate (there are none writing here) cannot interfere.
+        drain_trace_files();
+        record_trace_file("b", "/tmp/b.jsonl", 2);
+        record_trace_file("a", "/tmp/a.jsonl", 1);
+        let files = drain_trace_files();
+        assert_eq!(files.len(), 2);
+        assert_eq!(files[0].label, "a");
+        assert_eq!(files[1].label, "b");
+        assert!(drain_trace_files().is_empty());
+    }
+}

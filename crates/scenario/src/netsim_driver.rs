@@ -199,6 +199,24 @@ impl ScenarioDriver {
     fn apply(&self, api: &mut SimApi<'_>, idx: usize) {
         let Action { path, kind, .. } = self.actions[idx];
         let b = &self.bindings[path];
+        if api.trace_enabled() {
+            // Announce the scripted cause before its effects (e.g. the queue
+            // flush a PathDown triggers) hit the trace.
+            let action = match kind {
+                ActionKind::Down => obs::PathAction::Down,
+                ActionKind::Up => obs::PathAction::Up,
+                ActionKind::Rate(_) => obs::PathAction::Rate,
+                ActionKind::Delay(_) => obs::PathAction::Delay,
+                ActionKind::Loss(_) => obs::PathAction::Loss,
+                ActionKind::LossClear => obs::PathAction::LossClear,
+                ActionKind::FlashStart { .. } => obs::PathAction::FlashStart,
+                ActionKind::FlashStop { .. } => obs::PathAction::FlashStop,
+            };
+            api.trace_emit(obs::EventKind::PathEvent {
+                path: path as u32,
+                action,
+            });
+        }
         match kind {
             ActionKind::Down => {
                 for &l in &b.links {
