@@ -1,0 +1,5 @@
+//! Standalone runner for the `ext_fleet` extension target.
+
+fn main() {
+    dmp_bench::target::run_standalone(&[("ext_fleet", dmp_bench::fleet::ext_fleet)]);
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for the `fleet_headroom` extension target.
+
+fn main() {
+    dmp_bench::target::run_standalone(&[("fleet_headroom", dmp_bench::fleet::fleet_headroom)]);
+}

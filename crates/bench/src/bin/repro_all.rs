@@ -4,7 +4,8 @@
 //! Flags: `--quick` (reduced scale, seconds per target) / `--full`
 //! (paper-fidelity, the default); `--scenarios` appends the scripted
 //! path-dynamics targets (`ext_failover`, `ext_flashcrowd`) after the paper
-//! figures; `--trace` (off by default) records [`obs`] flight-recorder
+//! figures; `--fleet` appends the fleet-scale targets (`ext_fleet`,
+//! `fleet_headroom`); `--trace` (off by default) records [`obs`] flight-recorder
 //! traces for the scenario and live targets under
 //! `target/artifacts/traces/`, listed in each target's `.meta.json` sidecar
 //! and readable with the `trace_report` binary — traced jobs bypass the
@@ -27,6 +28,10 @@ fn main() {
     if std::env::args().any(|a| a == "--scenarios") {
         targets.push(("ext_failover", dmp_bench::scenarios::ext_failover));
         targets.push(("ext_flashcrowd", dmp_bench::scenarios::ext_flashcrowd));
+    }
+    if std::env::args().any(|a| a == "--fleet") {
+        targets.push(("ext_fleet", dmp_bench::fleet::ext_fleet));
+        targets.push(("fleet_headroom", dmp_bench::fleet::fleet_headroom));
     }
     let outcomes: Vec<_> = targets
         .into_iter()

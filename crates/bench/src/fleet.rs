@@ -1,0 +1,239 @@
+//! Fleet-scale extension targets: the operational question behind the
+//! paper's per-session verdicts.
+//!
+//! * [`ext_fleet`] — one fleet of churning DMP sessions with a flash-crowd
+//!   arrival spike, run under **both** scheduler engines; the artifact
+//!   records the fleet report and that the engines agreed byte-for-byte.
+//!   The per-shard engine-counter breakdown goes to the `.meta.json`
+//!   sidecar (telemetry high-water marks are engine-shaped by design).
+//! * [`fleet_headroom`] — sweep the fleet size on a fixed pair of shared
+//!   bottlenecks and report the largest fleet in which at least 95 % of
+//!   sessions still meet the paper's 1.6× headroom rule — Section 7.3's
+//!   rule of thumb recast as an admission-control capacity.
+
+use dmp_core::HEADROOM_RULE;
+use dmp_fleet::{run_fleet, FleetOptions, FleetResult, FleetSpec};
+use dmp_runner::{Json, Runner};
+use netsim::EngineKind;
+use scenario::FleetTimeline;
+
+use crate::report::{frac, Table};
+use crate::scale::Scale;
+use crate::target::TargetReport;
+
+/// Fraction of started sessions that must meet the 1.6× rule for a fleet
+/// size to count as "served" in the headroom sweep.
+pub const SERVED_FRACTION: f64 = 0.95;
+
+/// Whether the scale is the full-fidelity one (quick mode keeps fleets to a
+/// few seconds of wall clock; tier-1 tests and `--quick-smoke` rely on it).
+fn is_full(scale: &Scale) -> bool {
+    scale.sim_duration_s >= 1_000.0
+}
+
+/// The churn fleet `ext_fleet` runs: sessions arrive as an inhomogeneous
+/// Poisson process whose rate jumps 6× for a quarter of the window (the
+/// flash crowd), hold for an exponential time, and contend pairwise on each
+/// shard's two shared bottlenecks.
+pub fn fleet_spec(scale: &Scale) -> FleetSpec {
+    let (sessions, shard_sessions, duration_s) = if is_full(scale) {
+        (48, 24, 120.0)
+    } else {
+        (12, 6, 40.0)
+    };
+    let mut spec = FleetSpec::new("churn", sessions, shard_sessions, scale.seed);
+    spec.duration_s = duration_s;
+    spec.warmup_s = 2.0;
+    spec.arrival_rate_per_s = shard_sessions as f64 / duration_s * 1.8;
+    spec.mean_hold_s = duration_s * 0.55;
+    spec.timeline = FleetTimeline::named("flash").spike(0.3 * duration_s, 6.0, 0.25 * duration_s);
+    spec
+}
+
+/// Render the deterministic fleet artifact with the `config` entry removed —
+/// the engine is in the config string by design, so the cross-engine
+/// comparison strips it and demands everything else agree byte-for-byte.
+fn strip_config(artifact: &Json) -> String {
+    let Json::Obj(pairs) = artifact else {
+        panic!("fleet artifact is an object");
+    };
+    Json::Obj(
+        pairs
+            .iter()
+            .filter(|(k, _)| k != "config")
+            .cloned()
+            .collect(),
+    )
+    .render()
+}
+
+fn report_row(t: &mut Table, label: &str, spec: &FleetSpec, result: &FleetResult) {
+    let r = &result.report;
+    t.row(vec![
+        label.to_string(),
+        format!("{}", r.sessions),
+        format!("{}", r.started),
+        format!("{}", r.completed),
+        format!("{:.0}", r.goodput_pps),
+        frac(r.late.p90),
+        format!("{:.1}", r.glitches.p90),
+        format!("{:.2}", r.headroom.p50),
+        frac(r.headroom_ok),
+        format!("{}", result.total_events()),
+        format!("{}", spec.shard_count()),
+    ]);
+}
+
+/// Fleet churn study under both engines (see module docs).
+pub fn ext_fleet(runner: &Runner, scale: &Scale) -> TargetReport {
+    let opts = FleetOptions {
+        trace: scale.trace,
+        ..FleetOptions::default()
+    };
+    let mut results = Vec::new();
+    for engine in [EngineKind::Calendar, EngineKind::Heap] {
+        let mut spec = fleet_spec(scale);
+        spec.engine = engine;
+        let result = run_fleet(runner, &spec, &opts);
+        results.push((spec, result));
+    }
+    let (cal_spec, cal) = &results[0];
+    let (heap_spec, heap) = &results[1];
+    let engines_agree =
+        strip_config(&cal.artifact(cal_spec)) == strip_config(&heap.artifact(heap_spec));
+
+    let mut t = Table::new(
+        format!(
+            "ext_fleet: {} churning DMP sessions, flash-crowd arrivals ({} shards)",
+            cal_spec.sessions,
+            cal_spec.shard_count()
+        ),
+        &[
+            "engine",
+            "sessions",
+            "started",
+            "completed",
+            "goodput (pkt/s)",
+            "late p90",
+            "glitches p90",
+            "headroom p50",
+            "≥1.6× rule",
+            "events",
+            "shards",
+        ],
+    );
+    report_row(&mut t, "calendar", cal_spec, cal);
+    report_row(&mut t, "heap", heap_spec, heap);
+    let mut text = t.render();
+    text.push_str(&format!(
+        "\nEngines {}: fleet artifacts{} byte-identical across the heap and \
+         calendar schedulers.\n",
+        if engines_agree { "agree" } else { "DISAGREE" },
+        if engines_agree { "" } else { " NOT" },
+    ));
+
+    let data = Json::obj([
+        ("engines_agree", Json::Bool(engines_agree)),
+        ("fleet", cal.artifact(cal_spec)),
+    ]);
+    // Satellite of `EngineTelemetry::absorb`: the volatile sidecar carries
+    // the per-shard counter breakdown plus the absorbed fleet total.
+    TargetReport::new(text, data).with_meta("shards", cal.shards_meta())
+}
+
+/// Fleet sizes swept by [`fleet_headroom`], smallest first.
+pub fn headroom_sweep_sizes(scale: &Scale) -> Vec<u32> {
+    if is_full(scale) {
+        vec![4, 8, 12, 16, 20, 24]
+    } else {
+        vec![2, 8, 14, 20]
+    }
+}
+
+/// Admission-capacity sweep: how many churning sessions can share one pair
+/// of bottlenecks before the 1.6× rule starts failing fleet-wide?
+pub fn fleet_headroom(runner: &Runner, scale: &Scale) -> TargetReport {
+    let duration_s = if is_full(scale) { 150.0 } else { 50.0 };
+    let mut rows = Vec::new();
+    let mut served_capacity: Option<u32> = None;
+    let mut t = Table::new(
+        format!(
+            "fleet_headroom: sessions vs the {HEADROOM_RULE}× rule on one shared \
+             bottleneck pair"
+        ),
+        &[
+            "sessions",
+            "started",
+            "headroom mean",
+            "headroom p50",
+            "≥1.6× rule",
+            "late p90",
+            "verdict",
+        ],
+    );
+    for sessions in headroom_sweep_sizes(scale) {
+        // One shard: every session in the sweep contends on the same two
+        // bottlenecks, so size maps directly to concurrency.
+        let mut spec = FleetSpec::new("headroom", sessions, sessions, scale.seed);
+        spec.duration_s = duration_s;
+        spec.warmup_s = 2.0;
+        // Admission question: size should map to *concurrency*, so pile the
+        // arrivals into the first tenth of the window (the timeline shape is
+        // what steers the conditioned-on-N sampler, not the rate magnitude)
+        // and hold sessions past the end of it.
+        spec.arrival_rate_per_s = sessions as f64 / duration_s;
+        spec.mean_hold_s = duration_s * 2.0;
+        spec.timeline = FleetTimeline::named("frontload").spike(0.0, 50.0, 0.1 * duration_s);
+        let result = run_fleet(runner, &spec, &FleetOptions::default());
+        let r = &result.report;
+        let served = r.started > 0 && r.headroom_ok >= SERVED_FRACTION;
+        if served {
+            served_capacity = Some(sessions);
+        }
+        t.row(vec![
+            sessions.to_string(),
+            r.started.to_string(),
+            format!("{:.2}", r.headroom.mean),
+            format!("{:.2}", r.headroom.p50),
+            frac(r.headroom_ok),
+            frac(r.late.p90),
+            if served { "served" } else { "degraded" }.to_string(),
+        ]);
+        rows.push(Json::obj([
+            ("sessions", Json::Num(f64::from(sessions))),
+            ("started", Json::Num(r.started as f64)),
+            ("headroom_mean", Json::Num(r.headroom.mean)),
+            ("headroom_p50", Json::Num(r.headroom.p50)),
+            ("headroom_ok", Json::Num(r.headroom_ok)),
+            ("late_p90", Json::Num(r.late.p90)),
+            ("goodput_pps", Json::Num(r.goodput_pps)),
+            ("served", Json::Bool(served)),
+        ]));
+    }
+    let mut text = t.render();
+    text.push_str(&match served_capacity {
+        Some(n) => format!(
+            "\nLargest fleet meeting the {HEADROOM_RULE}× rule for ≥{:.0}% of \
+             sessions: {n} concurrent-churning sessions.\n",
+            SERVED_FRACTION * 100.0
+        ),
+        None => format!(
+            "\nNo swept fleet size met the {HEADROOM_RULE}× rule for ≥{:.0}% of \
+             sessions.\n",
+            SERVED_FRACTION * 100.0
+        ),
+    });
+    let data = Json::obj([
+        ("headroom_rule", Json::Num(HEADROOM_RULE)),
+        ("served_fraction", Json::Num(SERVED_FRACTION)),
+        (
+            "served_capacity",
+            match served_capacity {
+                Some(n) => Json::Num(f64::from(n)),
+                None => Json::Null,
+            },
+        ),
+        ("sweep", Json::arr(rows)),
+    ]);
+    TargetReport::new(text, data)
+}

@@ -20,6 +20,10 @@ pub struct TargetReport {
     /// Structured artifact payload. Deterministic: byte-identical across
     /// thread counts and cache states for the same scale and seed.
     pub data: Json,
+    /// Extra entries for the volatile `.meta.json` sidecar — telemetry the
+    /// target wants alongside the engine counters (e.g. a fleet's per-shard
+    /// breakdown). Never part of the deterministic artifact.
+    pub meta: Vec<(&'static str, Json)>,
 }
 
 impl TargetReport {
@@ -28,7 +32,14 @@ impl TargetReport {
         Self {
             text: text.into(),
             data,
+            meta: Vec::new(),
         }
+    }
+
+    /// Attach a volatile meta-sidecar entry.
+    pub fn with_meta(mut self, key: &'static str, value: Json) -> Self {
+        self.meta.push((key, value));
+        self
     }
 }
 
@@ -67,6 +78,8 @@ pub fn extension_targets() -> Vec<(&'static str, TargetFn)> {
         ("ext_ablations", crate::extensions::ext_ablations),
         ("ext_failover", crate::scenarios::ext_failover),
         ("ext_flashcrowd", crate::scenarios::ext_flashcrowd),
+        ("ext_fleet", crate::fleet::ext_fleet),
+        ("fleet_headroom", crate::fleet::fleet_headroom),
     ]
 }
 
@@ -112,7 +125,8 @@ pub fn execute(
     if let Err(e) = artifacts.write(name, &report.data) {
         eprintln!("warning: could not write artifact {name}.json: {e}");
     }
-    let mut engine_meta = vec![
+    let mut engine_meta = report.meta;
+    engine_meta.extend([
         ("engine_events", Json::Num(engine.events_processed as f64)),
         (
             "engine_events_per_s",
@@ -137,7 +151,7 @@ pub fn execute(
             "engine_random_loss_drops",
             Json::Num(engine.random_loss_drops as f64),
         ),
-    ];
+    ]);
     // Live-path evidence: the shaping timeline each emulated path actually
     // applied during this target's wall-clock runs (empty for pure-sim
     // targets). Volatile by nature, hence the meta sidecar, not the artifact.

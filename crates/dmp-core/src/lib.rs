@@ -14,6 +14,9 @@
 //!   computed both in playback order and in arrival order;
 //! * [`resilience`] — glitch/recovery metrics for fault-injection scenarios
 //!   (glitch durations, worst-window late fraction, time to recover);
+//! * [`fleet`] — fleet-level aggregation: per-session outcomes folded into
+//!   sessions started/completed, aggregate goodput, glitch distributions,
+//!   and the fraction of sessions meeting the 1.6× headroom rule;
 //! * [`stats`] — small statistics helpers (means, confidence intervals).
 //!
 //! # The scheme in one paragraph
@@ -30,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod metrics;
 pub mod resilience;
 pub mod scheme;
@@ -37,6 +41,7 @@ pub mod spec;
 pub mod stats;
 pub mod trace;
 
+pub use fleet::{Distribution, FleetReport, SessionOutcome, HEADROOM_RULE};
 pub use metrics::{buffer_occupancy, BufferOccupancy, LateFractions, LatenessReport};
 pub use resilience::{ResilienceReport, ResilienceSpec};
 pub use scheme::{DynamicQueue, ReorderBuffer, StaticSplitter, StreamPacket};

@@ -298,12 +298,24 @@ impl JsonCodec for Option<f64> {
     }
 }
 
-impl JsonCodec for Vec<f64> {
+impl JsonCodec for u64 {
     fn to_json(&self) -> Json {
-        Json::nums(self.iter().copied())
+        Json::Num(*self as f64)
     }
     fn from_json(json: &Json) -> Option<Self> {
-        json.as_arr()?.iter().map(Json::as_f64).collect()
+        json.as_u64()
+    }
+}
+
+/// Generic sequence codec (subsumes the old `Vec<f64>`-only impl, byte-
+/// compatible with entries it cached): shard-fanned jobs return one summary
+/// per shard, so sequences of codec-able values must round-trip as a unit.
+impl<T: JsonCodec> JsonCodec for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::arr(self.iter().map(JsonCodec::to_json))
+    }
+    fn from_json(json: &Json) -> Option<Self> {
+        json.as_arr()?.iter().map(T::from_json).collect()
     }
 }
 

@@ -44,9 +44,15 @@ pub struct TraceSpec {
     pub ring: usize,
     /// Emit every Nth queue-occupancy change per queue.
     pub decimation: u32,
-    /// Run label; the trace file stem is `obs::sanitize_label(label)`.
-    /// When empty a label is derived from setting/scheduler/seed.
+    /// Run label; the trace file stem is `obs::sanitize_label(label)` plus
+    /// the `scope`, if any. When empty a label is derived from
+    /// setting/scheduler/seed/engine.
     pub label: String,
+    /// Disambiguating suffix appended to the trace stem (`<label>:<scope>`)
+    /// — the engine for differential batches, a session/shard component for
+    /// fleet runs. Keeping it out of `label` lets callers keep semantic
+    /// labels while concurrent runs in one batch never collide on a file.
+    pub scope: String,
     /// Output directory (`None`: [`obs::default_trace_dir`]).
     pub dir: Option<PathBuf>,
 }
@@ -61,6 +67,7 @@ impl TraceSpec {
             ring: cfg.ring_capacity,
             decimation: cfg.queue_decimation,
             label: String::new(),
+            scope: String::new(),
             dir: None,
         }
     }
@@ -72,6 +79,12 @@ impl TraceSpec {
             label: label.into(),
             ..Self::off()
         }
+    }
+
+    /// Set the stem-disambiguating scope (builder style).
+    pub fn with_scope(mut self, scope: impl Into<String>) -> Self {
+        self.scope = scope.into();
+        self
     }
 }
 
@@ -161,8 +174,11 @@ impl ExperimentSpec {
         // flash-flow provisioning.
         // v4: the spec gained the `trace` field (semantic knobs only; labels
         // and output paths are excluded from `TraceSpec`'s `Debug`).
+        // v5: fleet-scale multi-session runs joined the shared runner cache
+        // namespace and trace stems gained a scope component; bumped so no
+        // pre-fleet entry can be served to a post-fleet batch.
         format!(
-            "dmp-sim/v4/{self:?}/scenario#{:016x}",
+            "dmp-sim/v5/{self:?}/scenario#{:016x}",
             self.scenario.stable_hash()
         )
     }
@@ -250,10 +266,24 @@ pub fn run(spec: &ExperimentSpec) -> RunOutput {
     // is behaviour-neutral — it reads state but never mutates it, draws no
     // randomness, and schedules no events.
     let recording = if spec.trace.enabled {
-        let label = if spec.trace.label.is_empty() {
-            format!("{}_{:?}_seed{}", setting.name, spec.scheduler, spec.seed)
+        let base = if spec.trace.label.is_empty() {
+            // The engine belongs in the derived label: a differential run
+            // (same setting/scheduler/seed on both engines) must not have
+            // two simulations writing one file.
+            format!(
+                "{}_{:?}_seed{}_{:?}",
+                setting.name, spec.scheduler, spec.seed, spec.engine
+            )
         } else {
             spec.trace.label.clone()
+        };
+        // The scope disambiguates concurrent runs sharing a semantic label
+        // — per-session/per-shard components of a fleet batch, the engine
+        // of a differential batch.
+        let label = if spec.trace.scope.is_empty() {
+            base
+        } else {
+            format!("{base}:{}", spec.trace.scope)
         };
         let dir = spec
             .trace
@@ -576,10 +606,11 @@ pub fn scenario_batch_jobs(
                 spec.scenario.name, spec.setting.name, spec.scheduler, i
             );
             if s.trace.enabled {
-                // The engine goes into the file stem (not the job label): a
+                // The engine goes into the stem scope (not the job label): a
                 // mixed-engine batch — the differential targets — would
                 // otherwise have two concurrent jobs writing the same path.
-                s.trace.label = format!("{label}:{:?}", s.engine);
+                s.trace.label = label.clone();
+                s.trace.scope = format!("{:?}", s.engine);
             }
             let traced = s.trace.enabled;
             let job = JobSpec::new(label, config_repr, s.seed, move || {
@@ -608,8 +639,9 @@ pub fn batch_jobs(spec: &ExperimentSpec, runs: usize, taus_s: &[f64]) -> Vec<Job
             let config_repr = format!("{}/taus{:?}", s.config_repr(), taus);
             let label = format!("sim:{}:{:?}:run{}", spec.setting.name, spec.scheduler, i);
             if s.trace.enabled {
-                // Engine in the file stem, as in `scenario_batch_jobs`.
-                s.trace.label = format!("{label}:{:?}", s.engine);
+                // Engine in the stem scope, as in `scenario_batch_jobs`.
+                s.trace.label = label.clone();
+                s.trace.scope = format!("{:?}", s.engine);
             }
             let traced = s.trace.enabled;
             let job = JobSpec::new(label, config_repr, s.seed, move || run_summary(&s, &taus));

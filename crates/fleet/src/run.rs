@@ -1,0 +1,296 @@
+//! Fan a fleet's shards across the runner pool and merge the results.
+//!
+//! Each job runs a contiguous range of shards serially in shard-index order;
+//! ranges are chunked by [`FleetOptions::shards_per_job`] and submitted to
+//! [`dmp_runner::Runner::run_all`], which preserves submission order however
+//! many worker threads drain the queue. Merging is therefore a flatten: the
+//! concatenation of shard outputs in shard-index order, independent of
+//! thread count and of how shards were chunked into jobs. Per-shard
+//! simulations are pure functions of `(spec, shard)`, so the merged fleet is
+//! byte-identical across all execution choices — the property the
+//! determinism suite in `tests/determinism.rs` locks down.
+
+use std::path::PathBuf;
+
+use dmp_core::{FleetReport, SessionOutcome};
+use dmp_runner::{JobSpec, Json, Runner};
+use netsim::EngineTelemetry;
+
+use crate::shard::{run_shard, ShardOutput};
+use crate::spec::FleetSpec;
+
+/// Execution-level knobs: everything here changes *how* a fleet runs, never
+/// *what* it produces, so none of it reaches the cache key or the
+/// deterministic artifact.
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Shards per runner job. 1 maximises parallelism; larger values
+    /// amortise job overhead when shards are tiny.
+    pub shards_per_job: u32,
+    /// Write flight-recorder traces (one JSONL file per shard, stems
+    /// `fleet:<name>:shard<i>:<engine>`). Traced jobs are not cached —
+    /// their value is the side-effect file.
+    pub trace: bool,
+    /// Where traces go; defaults to [`obs::default_trace_dir`].
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        Self {
+            shards_per_job: 1,
+            trace: false,
+            trace_dir: None,
+        }
+    }
+}
+
+/// A merged fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Per-session outcomes in global session order.
+    pub outcomes: Vec<SessionOutcome>,
+    /// The fleet-level verdict folded from the outcomes.
+    pub report: FleetReport,
+    /// Events dispatched by each shard's simulation, shard-index order
+    /// (engine-invariant, part of the deterministic artifact).
+    pub shard_events: Vec<u64>,
+    /// Each shard's engine counters, shard-index order (engine-shaped;
+    /// volatile meta sidecars only).
+    pub shard_telemetry: Vec<EngineTelemetry>,
+}
+
+impl FleetResult {
+    /// Total simulation events across all shards.
+    pub fn total_events(&self) -> u64 {
+        self.shard_events.iter().sum()
+    }
+
+    /// All shard telemetry folded into one reading (counts sum, peaks max).
+    pub fn merged_telemetry(&self) -> EngineTelemetry {
+        let mut total = EngineTelemetry::default();
+        for t in &self.shard_telemetry {
+            total.absorb(t);
+        }
+        total
+    }
+
+    /// The deterministic artifact document: spec identity, per-session
+    /// outcomes, the fleet report, and per-shard event counts. Everything in
+    /// here is byte-identical across thread counts, shard chunking, and both
+    /// scheduler engines; telemetry deliberately stays out (its high-water
+    /// marks are engine-shaped).
+    pub fn artifact(&self, spec: &FleetSpec) -> Json {
+        let r = &self.report;
+        let dist = |d: &dmp_core::Distribution| {
+            Json::obj([
+                ("mean", Json::Num(d.mean)),
+                ("p50", Json::Num(d.p50)),
+                ("p90", Json::Num(d.p90)),
+                ("max", Json::Num(d.max)),
+            ])
+        };
+        Json::obj([
+            ("name", Json::Str(spec.name.clone())),
+            ("config", Json::Str(spec.config_repr())),
+            ("sessions", Json::Num(r.sessions as f64)),
+            ("started", Json::Num(r.started as f64)),
+            ("completed", Json::Num(r.completed as f64)),
+            ("generated", Json::Num(r.generated as f64)),
+            ("delivered", Json::Num(r.delivered as f64)),
+            ("goodput_pps", Json::Num(r.goodput_pps)),
+            ("late", dist(&r.late)),
+            ("glitches", dist(&r.glitches)),
+            ("headroom", dist(&r.headroom)),
+            ("headroom_ok", Json::Num(r.headroom_ok)),
+            (
+                "shard_events",
+                Json::nums(self.shard_events.iter().map(|&e| e as f64)),
+            ),
+            (
+                "sessions_detail",
+                Json::arr(self.outcomes.iter().map(|o| {
+                    Json::obj([
+                        ("session", Json::Num(f64::from(o.session))),
+                        ("arrival_s", Json::Num(o.arrival_s)),
+                        ("hold_s", Json::Num(o.hold_s)),
+                        ("started", Json::Bool(o.started)),
+                        ("completed", Json::Bool(o.completed)),
+                        ("generated", Json::Num(o.generated as f64)),
+                        ("delivered", Json::Num(o.delivered as f64)),
+                        ("late_fraction", Json::Num(o.late_fraction)),
+                        ("glitches", Json::Num(o.glitch_count as f64)),
+                        ("headroom", Json::Num(o.headroom)),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    /// Volatile per-shard breakdown for the `.meta.json` sidecar: each
+    /// shard's engine counters plus the absorbed fleet total.
+    pub fn shards_meta(&self) -> Json {
+        let shard = |t: &EngineTelemetry| {
+            Json::obj([
+                ("events_processed", Json::Num(t.events_processed as f64)),
+                ("stale_timer_pops", Json::Num(t.stale_timer_pops as f64)),
+                (
+                    "deferred_timer_pushes",
+                    Json::Num(t.deferred_timer_pushes as f64),
+                ),
+                ("wheel_hwm", Json::Num(t.wheel_hwm as f64)),
+                ("far_hwm", Json::Num(t.far_hwm as f64)),
+                ("slab_hwm", Json::Num(t.slab_hwm as f64)),
+                ("random_loss_drops", Json::Num(t.random_loss_drops as f64)),
+            ])
+        };
+        Json::obj([
+            ("total", shard(&self.merged_telemetry())),
+            (
+                "per_shard",
+                Json::arr(self.shard_telemetry.iter().map(shard)),
+            ),
+        ])
+    }
+}
+
+/// Run `spec` on `runner`, fanning shards across its worker threads.
+///
+/// Panics if the spec fails [`FleetSpec::validate`] or any shard job fails.
+pub fn run_fleet(runner: &Runner, spec: &FleetSpec, opts: &FleetOptions) -> FleetResult {
+    spec.validate().expect("valid fleet spec");
+    let shards = spec.shard_count();
+    let chunk = opts.shards_per_job.max(1);
+    let config = spec.config_repr();
+    let trace_dir = opts.trace.then(|| {
+        opts.trace_dir
+            .clone()
+            .unwrap_or_else(obs::default_trace_dir)
+    });
+
+    let mut jobs: Vec<JobSpec<Vec<ShardOutput>>> = Vec::new();
+    let mut lo = 0u32;
+    while lo < shards {
+        let hi = (lo + chunk).min(shards);
+        let job_spec = spec.clone();
+        let dir = trace_dir.clone();
+        let job = JobSpec::new(
+            format!("fleet:{}:shards{lo}-{}", spec.name, hi - 1),
+            format!("{config}/shards{lo}-{hi}"),
+            spec.seed,
+            move || {
+                (lo..hi)
+                    .map(|shard| {
+                        let traced = dir.as_ref().map(|d| {
+                            // Satellite of the trace-stem fix in dmp-sim: a
+                            // shard component keeps concurrent shards of one
+                            // batch from colliding, the engine component
+                            // keeps differential batches apart.
+                            let label = format!(
+                                "fleet:{}:shard{shard}:{:?}",
+                                job_spec.name, job_spec.engine
+                            );
+                            (
+                                d.join(format!("{}.jsonl", obs::sanitize_label(&label))),
+                                label,
+                            )
+                        });
+                        run_shard(
+                            &job_spec,
+                            shard,
+                            traced.as_ref().map(|(p, l)| (p.as_path(), l.as_str())),
+                        )
+                    })
+                    .collect()
+            },
+        );
+        // A traced job's product is the side-effect trace file, which the
+        // cache would skip reproducing on a hit.
+        jobs.push(if opts.trace { job.uncacheable() } else { job });
+        lo = hi;
+    }
+
+    let cells = runner.run_all(jobs);
+    let mut outcomes = Vec::with_capacity(spec.sessions as usize);
+    let mut shard_events = Vec::with_capacity(shards as usize);
+    let mut shard_telemetry = Vec::with_capacity(shards as usize);
+    for cell in &cells {
+        let outputs = match cell.ok() {
+            Some(v) => v,
+            None => panic!(
+                "fleet shard job failed: {}",
+                cell.failure().unwrap_or("unknown")
+            ),
+        };
+        for out in outputs {
+            debug_assert_eq!(out.shard as usize, shard_events.len(), "shard order");
+            outcomes.extend(out.outcomes.iter().copied());
+            shard_events.push(out.events_processed);
+            shard_telemetry.push(out.telemetry);
+        }
+    }
+    let report = FleetReport::from_outcomes(&outcomes, spec.duration_s);
+    FleetResult {
+        outcomes,
+        report,
+        shard_events,
+        shard_telemetry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmp_runner::Cache;
+
+    fn small_spec() -> FleetSpec {
+        let mut spec = FleetSpec::new("small", 6, 2, 21);
+        spec.duration_s = 20.0;
+        spec.warmup_s = 1.0;
+        spec.arrival_rate_per_s = 0.5;
+        spec.mean_hold_s = 8.0;
+        spec.video = dmp_core::spec::VideoSpec::new(25.0);
+        spec
+    }
+
+    #[test]
+    fn fleet_merges_shards_in_global_session_order() {
+        let runner = Runner::new(2, Cache::disabled());
+        let result = run_fleet(&runner, &small_spec(), &FleetOptions::default());
+        assert_eq!(result.outcomes.len(), 6);
+        for (i, o) in result.outcomes.iter().enumerate() {
+            assert_eq!(o.session as usize, i, "global order preserved");
+        }
+        assert_eq!(result.shard_events.len(), 3);
+        assert_eq!(result.report.sessions, 6);
+        assert!(result.report.started > 0);
+        assert!(result.total_events() > 0);
+        assert_eq!(
+            result.merged_telemetry().events_processed,
+            result
+                .shard_telemetry
+                .iter()
+                .map(|t| t.events_processed)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn chunking_does_not_change_the_artifact() {
+        let spec = small_spec();
+        let runner = Runner::new(1, Cache::disabled());
+        let one = run_fleet(&runner, &spec, &FleetOptions::default());
+        let chunked = run_fleet(
+            &runner,
+            &spec,
+            &FleetOptions {
+                shards_per_job: 2,
+                ..FleetOptions::default()
+            },
+        );
+        assert_eq!(
+            one.artifact(&spec).render(),
+            chunked.artifact(&spec).render()
+        );
+    }
+}

@@ -1,0 +1,467 @@
+//! One shard: a self-contained netsim `Sim` hosting a slice of the fleet.
+//!
+//! Every shard builds its own topology — `bottlenecks_per_shard` shared
+//! router pairs, one server node per session, one client node per path (the
+//! multihoming idiom `dmp-sim` uses for independent paths) — attaches one
+//! [`DmpServer`]/[`VideoClient`] pair per session according to the shard's
+//! churn plan, runs to the end of the window, and reads per-session
+//! [`SessionOutcome`]s off the delivery traces. Congestion is *endogenous*:
+//! sessions contend with each other on the shared bottlenecks (no synthetic
+//! background flows), so a flash-crowd arrival spike directly translates
+//! into loss, lateness, and headroom erosion for the sessions caught in it.
+//!
+//! A shard is a **pure function of `(spec, shard index)`**: its RNG streams
+//! derive from the spec seed and the shard index alone, and nothing in here
+//! reads clocks, thread IDs, or global state — which is what lets the run
+//! layer fan shards across any number of worker threads and still merge
+//! byte-identical results.
+
+use std::cell::RefCell;
+use std::path::Path;
+use std::rc::Rc;
+
+use dmp_core::metrics::late_fraction_playback;
+use dmp_core::resilience::{ResilienceReport, ResilienceSpec};
+use dmp_core::spec::PathSpec;
+use dmp_core::SessionOutcome;
+use dmp_runner::{Json, JsonCodec};
+use dmp_sim::topology::video_tcp;
+use dmp_sim::video::{shared_trace, DmpServer, SharedTrace, VideoClient};
+use netsim::link::LinkSpec;
+use netsim::tcp::SinkConfig;
+use netsim::trace::SimTracer;
+use netsim::{secs, App, EngineTelemetry, FlowId, Sim, SimApi, SimTime};
+use obs::{EventKind, Recorder, TraceConfig};
+
+use crate::churn::{shard_plans, SessionPlan};
+use crate::spec::FleetSpec;
+
+/// Domain tag for the shard's simulation seed (TCP tie-breaks, random loss
+/// draws), distinct from the churn sampler's stream.
+const SIM_TAG: u64 = 0x51ad_a51d_5eed_f00d;
+
+/// Access-link one-way delays, ms: sessions cycle through these so paths in
+/// one shard have diverse RTTs (identical-RTT flows synchronise on a
+/// drop-tail queue and the contention model collapses).
+const ACCESS_TIERS_MS: [f64; 5] = [2.0, 5.0, 10.0, 20.0, 35.0];
+
+/// Extra simulated time after the arrival window closes, seconds, so
+/// sessions that arrived late can drain their queues before measurement
+/// stops. Scaled with τ because the stable-record margin is τ-derived.
+fn drain_s(spec: &FleetSpec) -> f64 {
+    spec.tau_s + 6.0
+}
+
+/// One fleet shard's results: everything the run layer needs to merge the
+/// fleet, split into the deterministic part (`outcomes`, `events_processed`
+/// — byte-identical across engines, thread counts, and shard chunking) and
+/// the engine-shaped part (`telemetry` — HWM fields differ between engines
+/// by design and must only ever reach volatile meta sidecars).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOutput {
+    /// Which shard this is.
+    pub shard: u32,
+    /// Per-session outcomes, in global session order.
+    pub outcomes: Vec<SessionOutcome>,
+    /// Events the shard's simulation dispatched (engine-invariant).
+    pub events_processed: u64,
+    /// The shard simulation's engine counters (engine-dependent; volatile
+    /// meta only).
+    pub telemetry: EngineTelemetry,
+}
+
+/// Marks a session's lifecycle in the flight-recorder stream. Attached to
+/// every session whether or not the run is traced: the marker schedules
+/// timers, and a traced run must process exactly the event sequence an
+/// untraced one does.
+struct SessionMarker {
+    session: u32,
+    start_at: SimTime,
+    stop_at: SimTime,
+}
+
+impl App for SessionMarker {
+    fn start(&mut self, api: &mut SimApi<'_>) {
+        api.schedule_in(self.start_at, 0);
+    }
+
+    fn on_timer(&mut self, api: &mut SimApi<'_>, tag: u64) {
+        if api.trace_enabled() {
+            api.trace_emit(EventKind::Session {
+                session: self.session,
+                up: tag == 0,
+            });
+        }
+        if tag == 0 {
+            api.schedule_in(self.stop_at - self.start_at, 1);
+        }
+    }
+}
+
+/// Per-session handles needed after the simulation finishes.
+struct SessionHandles {
+    session: u32,
+    plan: SessionPlan,
+    budget: u64,
+    flows: Vec<FlowId>,
+    trace: SharedTrace,
+}
+
+/// Run shard `shard` of `spec`. When `trace` is given, a flight recorder
+/// writes the shard's JSONL trace to that path and registers it under the
+/// given label (see [`obs::record_trace_file`]).
+pub fn run_shard(spec: &FleetSpec, shard: u32, trace: Option<(&Path, &str)>) -> ShardOutput {
+    let n = spec.sessions_in_shard(shard) as usize;
+    let k = spec.paths_per_session as usize;
+    let b = spec.bottlenecks_per_shard as usize;
+    let plans = shard_plans(spec, shard);
+
+    // Exact entity counts: 2 router nodes and one duplex per bottleneck,
+    // plus per session one server node, K client nodes, and 2K access
+    // duplexes (server side + client side).
+    let sim_seed = spec.seed ^ SIM_TAG ^ u64::from(shard).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut sim = Sim::with_capacity(
+        sim_seed,
+        spec.engine,
+        2 * b + n * (1 + k),
+        2 * (b + n * 2 * k),
+        n * k,
+    );
+
+    // Shared bottlenecks: b router pairs r1[i] --bottleneck--> r2[i].
+    let bneck_spec = LinkSpec::from_table(
+        spec.bottleneck_mbps,
+        spec.bottleneck_delay_ms,
+        spec.buffer_pkts,
+    );
+    let mut r1 = Vec::with_capacity(b);
+    let mut r2 = Vec::with_capacity(b);
+    let mut bnecks = Vec::with_capacity(b);
+    for i in 0..b {
+        let a = sim.add_node(format!("r{i}1"));
+        let z = sim.add_node(format!("r{i}2"));
+        let (fwd, rev) = sim.add_duplex(a, z, bneck_spec);
+        r1.push(a);
+        r2.push(z);
+        bnecks.push((fwd, rev));
+    }
+
+    let access = |delay_ms: f64| LinkSpec::from_table(100.0, delay_ms, 4_000);
+    let tcp = video_tcp(spec.video.packet_bytes, spec.send_buf_pkts);
+    let first = spec.first_session(shard);
+    let mut sessions = Vec::with_capacity(n);
+    for (local, plan) in plans.iter().enumerate() {
+        let g = first + local as u32;
+        let server = sim.add_node(format!("srv{g}"));
+        let mut flows = Vec::with_capacity(k);
+        for path in 0..k {
+            // Paths of one session land on distinct bottlenecks (validate()
+            // guarantees b ≥ k); the global session index rotates the
+            // assignment so bottleneck populations are balanced and
+            // heterogeneous across sessions.
+            let bi = (g as usize + path) % b;
+            let tier = ACCESS_TIERS_MS[(g as usize * k + path) % ACCESS_TIERS_MS.len()];
+            let client = sim.add_node(format!("cl{g}p{path}"));
+            let (sv_r1, r1_sv) = sim.add_duplex(server, r1[bi], access(tier));
+            let (r2_cl, cl_r2) = sim.add_duplex(r2[bi], client, access(tier));
+            // Destination routing: data sv→r1→r2→cl, ACKs cl→r2→r1→sv.
+            sim.add_route(server, client, sv_r1);
+            sim.add_route(r1[bi], client, bnecks[bi].0);
+            sim.add_route(r1[bi], server, r1_sv);
+            sim.add_route(r2[bi], client, r2_cl);
+            sim.add_route(r2[bi], server, bnecks[bi].1);
+            sim.set_default_route(client, cl_r2);
+            flows.push(sim.add_flow(server, client, tcp, SinkConfig::default()));
+        }
+        sessions.push(SessionHandles {
+            session: g,
+            plan: *plan,
+            budget: ((plan.hold_s * spec.video.rate_pps).ceil() as u64).max(1),
+            flows,
+            trace: shared_trace(
+                spec.video,
+                secs(spec.warmup_s + spec.duration_s + drain_s(spec)),
+            ),
+        });
+    }
+
+    let recording = trace.map(|(path, label)| {
+        let rec = Rc::new(RefCell::new(
+            Recorder::to_file(TraceConfig::default(), path).expect("create trace file"),
+        ));
+        let mut tracer = SimTracer::new(Rc::clone(&rec));
+        for (fwd, _) in &bnecks {
+            tracer.trace_link(*fwd);
+        }
+        for s in &sessions {
+            for (path, &f) in s.flows.iter().enumerate() {
+                tracer.trace_flow(f);
+                tracer.emit(
+                    0,
+                    EventKind::PathConn {
+                        path: path as u32,
+                        conn: f,
+                    },
+                );
+            }
+        }
+        sim.set_tracer(tracer);
+        (rec, path.to_path_buf(), label.to_string())
+    });
+
+    for s in &sessions {
+        let start_at = secs(spec.warmup_s + s.plan.arrival_s);
+        sim.add_app(Box::new(DmpServer::new(
+            s.flows.clone(),
+            spec.video,
+            s.trace.clone(),
+            start_at,
+            s.budget,
+        )));
+        sim.add_app(Box::new(VideoClient::new(&s.flows, s.trace.clone())));
+        sim.add_app(Box::new(SessionMarker {
+            session: s.session,
+            start_at,
+            stop_at: start_at + secs(s.plan.hold_s),
+        }));
+    }
+
+    sim.run_until(secs(spec.warmup_s + spec.duration_s + drain_s(spec)));
+
+    // Bottleneck capacity in packets/s bounds each path's achievable rate:
+    // PFTK with near-zero measured loss otherwise predicts throughputs the
+    // link could never carry.
+    let capacity_pps = spec.bottleneck_mbps * 1e6 / 8.0 / f64::from(spec.video.packet_bytes);
+    let outcomes = sessions
+        .iter()
+        .map(|s| outcome_of(&sim, spec, s, capacity_pps))
+        .collect();
+
+    let events_processed = sim.events_processed();
+    let telemetry = EngineTelemetry::from(&sim.counters());
+
+    if let Some((rec, path, label)) = recording {
+        // The Sim's tracer holds the other recorder handle; drop it first.
+        drop(sim);
+        let rec = Rc::try_unwrap(rec)
+            .ok()
+            .expect("sim dropped its recorder handle")
+            .into_inner();
+        let out = rec.finish().expect("flush trace file");
+        obs::record_trace_file(label, path, out.events);
+    }
+
+    ShardOutput {
+        shard,
+        outcomes,
+        events_processed,
+        telemetry,
+    }
+}
+
+/// Read one session's outcome off its delivery trace and its flows' TCP
+/// state.
+fn outcome_of(
+    sim: &Sim,
+    spec: &FleetSpec,
+    s: &SessionHandles,
+    capacity_pps: f64,
+) -> SessionOutcome {
+    let trace = s.trace.borrow();
+    let generated = trace.generated();
+    let delivered = trace.delivered();
+    let started = generated > 0;
+    let stable = trace.stable_records(spec.tau_s);
+    let resilience = ResilienceReport::from_records(
+        stable,
+        spec.video.rate_pps,
+        ResilienceSpec {
+            tau_s: spec.tau_s,
+            ..ResilienceSpec::default()
+        },
+    );
+    // Aggregate achievable throughput over the session's paths, from the
+    // *measured* per-flow loss and RTT through the PFTK model — the same
+    // σ_a/µ the paper's Section 7.3 headroom rule is stated in.
+    let headroom = if started {
+        s.flows
+            .iter()
+            .filter_map(|&f| {
+                let sender = sim.sender(f);
+                let rtt_s = sender.rtt.mean_rtt_secs()?;
+                let path = PathSpec {
+                    loss: sim.flow_loss_rate(f).clamp(1e-6, 0.5),
+                    rtt_s,
+                    to_ratio: sender.rtt.to_ratio().unwrap_or(1.0).max(1.0),
+                };
+                Some(tcp_model::pftk::throughput_pps(&path).min(capacity_pps))
+            })
+            .sum::<f64>()
+            / spec.video.rate_pps
+    } else {
+        0.0
+    };
+    SessionOutcome {
+        session: s.session,
+        arrival_s: s.plan.arrival_s,
+        hold_s: s.plan.hold_s,
+        started,
+        completed: generated == s.budget,
+        generated,
+        delivered,
+        late_fraction: late_fraction_playback(stable, spec.tau_s),
+        glitch_count: resilience.glitch_count,
+        headroom,
+    }
+}
+
+impl JsonCodec for ShardOutput {
+    fn to_json(&self) -> Json {
+        let outcomes = self.outcomes.iter().map(|o| {
+            Json::obj([
+                ("session", Json::Num(f64::from(o.session))),
+                ("arrival_s", Json::Num(o.arrival_s)),
+                ("hold_s", Json::Num(o.hold_s)),
+                ("started", Json::Bool(o.started)),
+                ("completed", Json::Bool(o.completed)),
+                ("generated", Json::Num(o.generated as f64)),
+                ("delivered", Json::Num(o.delivered as f64)),
+                ("late_fraction", Json::Num(o.late_fraction)),
+                ("glitches", Json::Num(o.glitch_count as f64)),
+                ("headroom", Json::Num(o.headroom)),
+            ])
+        });
+        let t = &self.telemetry;
+        Json::obj([
+            ("shard", Json::Num(f64::from(self.shard))),
+            ("events", Json::Num(self.events_processed as f64)),
+            ("outcomes", Json::arr(outcomes)),
+            (
+                "telemetry",
+                Json::obj([
+                    ("events_processed", Json::Num(t.events_processed as f64)),
+                    ("stale_timer_pops", Json::Num(t.stale_timer_pops as f64)),
+                    (
+                        "deferred_timer_pushes",
+                        Json::Num(t.deferred_timer_pushes as f64),
+                    ),
+                    ("wheel_hwm", Json::Num(t.wheel_hwm as f64)),
+                    ("far_hwm", Json::Num(t.far_hwm as f64)),
+                    ("slab_hwm", Json::Num(t.slab_hwm as f64)),
+                    ("random_loss_drops", Json::Num(t.random_loss_drops as f64)),
+                ]),
+            ),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Option<Self> {
+        let outcomes = json
+            .get("outcomes")?
+            .as_arr()?
+            .iter()
+            .map(|o| {
+                Some(SessionOutcome {
+                    session: o.get("session")?.as_u64()? as u32,
+                    arrival_s: o.get("arrival_s")?.as_f64()?,
+                    hold_s: o.get("hold_s")?.as_f64()?,
+                    started: o.get("started")?.as_bool()?,
+                    completed: o.get("completed")?.as_bool()?,
+                    generated: o.get("generated")?.as_u64()?,
+                    delivered: o.get("delivered")?.as_u64()?,
+                    late_fraction: o.get("late_fraction")?.as_f64()?,
+                    glitch_count: o.get("glitches")?.as_u64()?,
+                    headroom: o.get("headroom")?.as_f64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let t = json.get("telemetry")?;
+        let field = |name: &str| t.get(name).and_then(Json::as_u64);
+        Some(ShardOutput {
+            shard: json.get("shard")?.as_u64()? as u32,
+            events_processed: json.get("events")?.as_u64()?,
+            outcomes,
+            telemetry: EngineTelemetry {
+                events_processed: field("events_processed")?,
+                stale_timer_pops: field("stale_timer_pops")?,
+                deferred_timer_pushes: field("deferred_timer_pushes")?,
+                wheel_hwm: field("wheel_hwm")?,
+                far_hwm: field("far_hwm")?,
+                slab_hwm: field("slab_hwm")?,
+                random_loss_drops: field("random_loss_drops")?,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::EngineKind;
+
+    fn tiny_spec() -> FleetSpec {
+        let mut spec = FleetSpec::new("tiny", 4, 2, 11);
+        spec.duration_s = 20.0;
+        spec.warmup_s = 1.0;
+        spec.arrival_rate_per_s = 0.5;
+        spec.mean_hold_s = 8.0;
+        spec.video = dmp_core::spec::VideoSpec::new(25.0);
+        spec
+    }
+
+    #[test]
+    fn shard_sessions_stream_and_deliver() {
+        let out = run_shard(&tiny_spec(), 0, None);
+        assert_eq!(out.outcomes.len(), 2);
+        assert!(out.events_processed > 0);
+        for o in &out.outcomes {
+            assert!(o.started, "session {} never started", o.session);
+            assert!(o.generated > 0);
+            assert!(o.delivered > 0, "session {} delivered nothing", o.session);
+            assert!(o.delivered <= o.generated);
+            assert!(o.headroom > 0.0);
+        }
+        // Global session indices: shard 0 holds sessions 0 and 1.
+        assert_eq!(out.outcomes[0].session, 0);
+        assert_eq!(out.outcomes[1].session, 1);
+    }
+
+    #[test]
+    fn engines_agree_byte_for_byte_on_outcomes() {
+        let spec = tiny_spec();
+        let mut heap = spec.clone();
+        heap.engine = EngineKind::Heap;
+        let mut cal = spec;
+        cal.engine = EngineKind::Calendar;
+        let a = run_shard(&heap, 1, None);
+        let b = run_shard(&cal, 1, None);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.events_processed, b.events_processed);
+        // Telemetry is engine-shaped (far heap vs wheel) and may differ;
+        // only the deterministic half must agree.
+    }
+
+    #[test]
+    fn shard_output_json_round_trips() {
+        let out = run_shard(&tiny_spec(), 0, None);
+        let back = ShardOutput::from_json(&out.to_json()).expect("round-trip");
+        assert_eq!(out, back);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let dir = std::env::temp_dir().join("fleet-shard-trace-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("shard0.jsonl");
+        let spec = tiny_spec();
+        let plain = run_shard(&spec, 0, None);
+        let traced = run_shard(&spec, 0, Some((&path, "fleet:tiny:shard0")));
+        assert_eq!(plain.outcomes, traced.outcomes);
+        assert_eq!(plain.events_processed, traced.events_processed);
+        let text = std::fs::read_to_string(&path).expect("trace written");
+        assert!(
+            text.contains("\"ev\":\"session\""),
+            "trace should carry session markers"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

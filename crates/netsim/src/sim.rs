@@ -162,6 +162,36 @@ impl Sim {
         }
     }
 
+    /// Create a simulator with pre-sized entity arenas: `nodes`, `links`,
+    /// and `flows` are expected final counts (flows also size the TCP
+    /// sender/sink arenas and the in-flight packet slab). Sharded fleet
+    /// experiments know their exact topology up front; reserving once here
+    /// means building a shard never reallocates an arena mid-construction
+    /// and the packet slab is warm before the first event fires. Capacity
+    /// is an optimisation only — an under-estimate still grows normally and
+    /// changes no simulation byte.
+    pub fn with_capacity(
+        seed: u64,
+        engine: EngineKind,
+        nodes: usize,
+        links: usize,
+        flows: usize,
+    ) -> Self {
+        let mut sim = Self::with_engine(seed, engine);
+        sim.nodes.reserve(nodes);
+        sim.links.reserve(links);
+        sim.flows.reserve(flows);
+        sim.flow_counters.reserve(flows);
+        sim.senders.reserve(flows);
+        sim.sender_timer_ev.reserve(flows);
+        sim.sinks.reserve(flows);
+        sim.sink_timer_ev.reserve(flows);
+        // Rough in-flight bound: every flow can keep a small burst of data
+        // packets plus ACKs in the air at once.
+        sim.pkts.reserve(flows.saturating_mul(8));
+        sim
+    }
+
     /// Install a flight recorder. Flows the tracer opted in (see
     /// [`SimTracer::trace_flow`]) have their senders flipped to mark-taking
     /// mode; register flows and links on the tracer *before* installing it.

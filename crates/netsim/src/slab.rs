@@ -25,6 +25,14 @@ impl PacketSlab {
         Self::default()
     }
 
+    /// Pre-grow the arena to hold `n` simultaneously resident packets
+    /// without reallocating. Sizing the slab up front keeps a shard's
+    /// steady-state hot path allocation-free from the first packet.
+    pub fn reserve(&mut self, n: usize) {
+        self.slots.reserve(n.saturating_sub(self.slots.len()));
+        self.free.reserve(n.saturating_sub(self.free.len()));
+    }
+
     /// Store a packet; returns the slot handle to embed in the event.
     #[inline]
     pub fn alloc(&mut self, pkt: Packet) -> u32 {

@@ -68,6 +68,37 @@ impl EngineTelemetry {
                 .saturating_sub(earlier.random_loss_drops),
         }
     }
+
+    /// Fold another reading into this one: counts sum, high-water marks take
+    /// the max. This is the cross-shard merge — each shard of a fleet is its
+    /// own `Sim` with its own counters, and the fleet total is the sum of
+    /// per-shard counts with fleet-wide peaks.
+    pub fn absorb(&mut self, other: &EngineTelemetry) {
+        self.events_processed += other.events_processed;
+        self.stale_timer_pops += other.stale_timer_pops;
+        self.deferred_timer_pushes += other.deferred_timer_pushes;
+        self.wheel_hwm = self.wheel_hwm.max(other.wheel_hwm);
+        self.far_hwm = self.far_hwm.max(other.far_hwm);
+        self.slab_hwm = self.slab_hwm.max(other.slab_hwm);
+        self.random_loss_drops += other.random_loss_drops;
+    }
+}
+
+impl From<&SimCounters> for EngineTelemetry {
+    /// Lift one simulation's counters into the telemetry shape, so per-shard
+    /// readings can be [`EngineTelemetry::absorb`]ed and `delta`ed with the
+    /// same arithmetic as the process-wide totals.
+    fn from(c: &SimCounters) -> Self {
+        EngineTelemetry {
+            events_processed: c.events_processed,
+            stale_timer_pops: c.stale_timer_pops,
+            deferred_timer_pushes: c.deferred_timer_pushes,
+            wheel_hwm: c.wheel_hwm,
+            far_hwm: c.far_hwm,
+            slab_hwm: c.slab_hwm,
+            random_loss_drops: c.random_loss_drops,
+        }
+    }
 }
 
 /// Fold one simulation's counters into the process-wide totals. Called from
@@ -129,6 +160,59 @@ mod tests {
         assert_eq!(d.wheel_hwm, 80, "HWMs take the max, not the difference");
         assert_eq!(d.far_hwm, 8);
         assert_eq!(d.slab_hwm, 100);
+    }
+
+    #[test]
+    fn absorb_sums_counts_and_maxes_hwms() {
+        let mut total = EngineTelemetry::default();
+        let a = EngineTelemetry {
+            events_processed: 100,
+            stale_timer_pops: 3,
+            deferred_timer_pushes: 5,
+            wheel_hwm: 40,
+            far_hwm: 2,
+            slab_hwm: 10,
+            random_loss_drops: 1,
+        };
+        let b = EngineTelemetry {
+            events_processed: 50,
+            stale_timer_pops: 1,
+            deferred_timer_pushes: 2,
+            wheel_hwm: 25,
+            far_hwm: 9,
+            slab_hwm: 30,
+            random_loss_drops: 0,
+        };
+        total.absorb(&a);
+        total.absorb(&b);
+        assert_eq!(total.events_processed, 150);
+        assert_eq!(total.stale_timer_pops, 4);
+        assert_eq!(total.deferred_timer_pushes, 7);
+        assert_eq!(total.random_loss_drops, 1);
+        assert_eq!(total.wheel_hwm, 40, "peaks take the max across shards");
+        assert_eq!(total.far_hwm, 9);
+        assert_eq!(total.slab_hwm, 30);
+    }
+
+    #[test]
+    fn sim_counters_lift_preserves_every_field() {
+        let c = SimCounters {
+            events_processed: 7,
+            stale_timer_pops: 1,
+            deferred_timer_pushes: 2,
+            wheel_hwm: 3,
+            far_hwm: 4,
+            slab_hwm: 5,
+            random_loss_drops: 6,
+        };
+        let t = EngineTelemetry::from(&c);
+        assert_eq!(t.events_processed, 7);
+        assert_eq!(t.stale_timer_pops, 1);
+        assert_eq!(t.deferred_timer_pushes, 2);
+        assert_eq!(t.wheel_hwm, 3);
+        assert_eq!(t.far_hwm, 4);
+        assert_eq!(t.slab_hwm, 5);
+        assert_eq!(t.random_loss_drops, 6);
     }
 
     #[test]

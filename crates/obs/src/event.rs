@@ -161,6 +161,14 @@ pub enum EventKind {
         /// Which action.
         action: PathAction,
     },
+    /// A fleet session arrived (`up = true`) or departed. `session` is the
+    /// global session index, stable across shard-chunking choices.
+    Session {
+        /// Global session index.
+        session: u32,
+        /// Arrival (true) or departure (false).
+        up: bool,
+    },
 }
 
 /// Format an `f64` deterministically (Rust's shortest round-trip form, which
@@ -220,6 +228,9 @@ impl TraceEvent {
                 "{{\"t\":{t},\"ev\":\"path_ev\",\"path\":{path},\"action\":\"{}\"}}",
                 action.name()
             ),
+            EventKind::Session { session, up } => {
+                format!("{{\"t\":{t},\"ev\":\"session\",\"session\":{session},\"up\":{up}}}")
+            }
         }
     }
 
@@ -287,6 +298,10 @@ impl TraceEvent {
                     Value::Str(s) => PathAction::from_name(s)?,
                     _ => return None,
                 },
+            },
+            "session" => EventKind::Session {
+                session: int("session")? as u32,
+                up: get("up")?.as_bool()?,
             },
             _ => return None,
         };
@@ -431,6 +446,20 @@ mod tests {
                 kind: EventKind::PathEvent {
                     path: 0,
                     action: PathAction::Down,
+                },
+            },
+            TraceEvent {
+                t: 12,
+                kind: EventKind::Session {
+                    session: 41,
+                    up: true,
+                },
+            },
+            TraceEvent {
+                t: 13,
+                kind: EventKind::Session {
+                    session: 41,
+                    up: false,
                 },
             },
         ]

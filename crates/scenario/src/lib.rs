@@ -34,10 +34,12 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod live;
 pub mod netsim_driver;
 pub mod timeline;
 
+pub use fleet::{FleetTimeline, RateSpike};
 pub use live::{compile_live, LiveStep, PathSchedule};
 pub use netsim_driver::{PathBinding, ScenarioDriver};
 pub use timeline::{Event, Scenario, TimedEvent};
