@@ -42,9 +42,19 @@ impl App for FtpStarter {
 /// Fingerprint of a run: must be identical across engines.
 type Digest = (u64, u64, u64);
 
+/// What a topology runner reports: scheduler events dispatched, packet
+/// transits delivered (one event can carry several under coalesced
+/// delivery — reporting both keeps the events/sec trajectory honest), and
+/// the engine-invariant digest.
+struct TopoRun {
+    events: u64,
+    transits: u64,
+    digest: Digest,
+}
+
 /// Topology 1: two hosts, one clean 10 Mbps / 10 ms pipe, one backlogged
 /// FTP. The minimal engine hot loop: serialisation + arrival + ACK events.
-fn run_two_host(engine: EngineKind, dur_s: f64) -> (u64, Digest) {
+fn run_two_host(engine: EngineKind, dur_s: f64) -> TopoRun {
     let mut sim = Sim::with_engine(1, engine);
     let a = sim.add_node("a");
     let b = sim.add_node("b");
@@ -54,19 +64,22 @@ fn run_two_host(engine: EngineKind, dur_s: f64) -> (u64, Digest) {
     let flow = sim.add_flow(a, b, TcpConfig::default(), SinkConfig::default());
     sim.add_app(Box::new(FtpStarter { flow }));
     sim.run_until(secs(dur_s));
-    let digest = (
-        sim.sink(flow).stats.delivered,
-        sim.sender(flow).stats.retransmits,
-        sim.events_processed(),
-    );
-    (sim.events_processed(), digest)
+    TopoRun {
+        events: sim.events_processed(),
+        transits: sim.transits(),
+        digest: (
+            sim.sink(flow).stats.delivered,
+            sim.sender(flow).stats.retransmits,
+            sim.events_processed(),
+        ),
+    }
 }
 
 /// Topology 2: a congested Table 1 config-2-like bottleneck (3.7 Mbps, 1 ms,
 /// 50-packet buffer) shared by 9 FTPs and 40 on/off HTTP sessions. Loss,
 /// retransmission timers, and app timers all active — the background-traffic
 /// workload that dominates the figure sweeps.
-fn run_bottleneck_bg(engine: EngineKind, dur_s: f64) -> (u64, Digest) {
+fn run_bottleneck_bg(engine: EngineKind, dur_s: f64) -> TopoRun {
     let mut sim = Sim::with_engine(2, engine);
     let a = sim.add_node("src");
     let b = sim.add_node("dst");
@@ -99,15 +112,18 @@ fn run_bottleneck_bg(engine: EngineKind, dur_s: f64) -> (u64, Digest) {
         delivered += sim.sink(flow).stats.delivered;
         dropped += sim.flow_counters(flow).data_dropped;
     }
-    let digest = (delivered, dropped, sim.events_processed());
-    (sim.events_processed(), digest)
+    TopoRun {
+        events: sim.events_processed(),
+        transits: sim.transits(),
+        digest: (delivered, dropped, sim.events_processed()),
+    }
 }
 
 /// Topology 3: the paper's Setting 2-2 multipath video run (DMP scheduler,
 /// two independent congested paths, full background traffic) — the workload
 /// `repro_all` actually spends its time in. Events counted via the engine
 /// telemetry delta because `dmp_sim::experiment::run` owns the `Sim`.
-fn run_multipath_video(engine: EngineKind, dur_s: f64) -> (u64, Digest) {
+fn run_multipath_video(engine: EngineKind, dur_s: f64) -> TopoRun {
     let setting = *dmp_sim::configs::setting("2-2").expect("setting 2-2 exists");
     let mut spec =
         dmp_sim::experiment::ExperimentSpec::new(setting, SchedulerKind::Dynamic, dur_s, 2007);
@@ -115,18 +131,19 @@ fn run_multipath_video(engine: EngineKind, dur_s: f64) -> (u64, Digest) {
     spec.engine = engine;
     let before = netsim::telemetry::snapshot();
     let out = dmp_sim::experiment::run(&spec);
-    let events = netsim::telemetry::snapshot()
-        .delta(&before)
-        .events_processed;
-    let digest = (
-        out.trace.delivered(),
-        out.trace.generated(),
-        (out.paths.iter().map(|p| p.share).sum::<f64>() * 1e9) as u64,
-    );
-    (events, digest)
+    let delta = netsim::telemetry::snapshot().delta(&before);
+    TopoRun {
+        events: delta.events_processed,
+        transits: delta.transits,
+        digest: (
+            out.trace.delivered(),
+            out.trace.generated(),
+            (out.paths.iter().map(|p| p.share).sum::<f64>() * 1e9) as u64,
+        ),
+    }
 }
 
-type TopoFn = fn(EngineKind, f64) -> (u64, Digest);
+type TopoFn = fn(EngineKind, f64) -> TopoRun;
 
 const TOPOLOGIES: [(&str, TopoFn, f64); 3] = [
     ("two_host", run_two_host, 60.0),
@@ -139,12 +156,24 @@ const ENGINES: [(&str, EngineKind); 2] = [
     ("calendar", EngineKind::Calendar),
 ];
 
-/// One timed measurement: simulated events per wall-clock second.
-fn measure(f: TopoFn, engine: EngineKind, dur_s: f64) -> (u64, f64) {
-    let t0 = Instant::now();
-    let (events, _) = f(engine, dur_s);
-    let wall = t0.elapsed().as_secs_f64();
-    (events, events as f64 / wall.max(1e-9))
+/// One timed measurement: `(run, events/s, transits/s)` per wall-clock
+/// second. Best-of-3: the simulation is deterministic, so the fastest pass
+/// is the least scheduler-perturbed estimate of the engine's cost — on the
+/// shared boxes these run on, a single pass can be off by 2x.
+fn measure(f: TopoFn, engine: EngineKind, dur_s: f64) -> (TopoRun, f64, f64) {
+    let mut best: Option<(TopoRun, f64)> = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let run = f(engine, dur_s);
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        if best.as_ref().is_none_or(|(_, w)| wall < *w) {
+            best = Some((run, wall));
+        }
+    }
+    let (run, wall) = best.expect("three passes ran");
+    let eps = run.events as f64 / wall;
+    let tps = run.transits as f64 / wall;
+    (run, eps, tps)
 }
 
 /// `--quick-smoke`: both engines must produce identical simulations, fast.
@@ -155,13 +184,17 @@ fn quick_smoke() {
         } else {
             10.0
         };
-        let (_, d_heap) = f(EngineKind::Heap, dur);
-        let (_, d_cal) = f(EngineKind::Calendar, dur);
+        let heap = f(EngineKind::Heap, dur);
+        let cal = f(EngineKind::Calendar, dur);
         assert_eq!(
-            d_heap, d_cal,
+            heap.digest, cal.digest,
             "{name}: engines disagree (heap vs calendar digest)"
         );
-        println!("smoke {name}: engines agree, digest {d_heap:?}");
+        assert_eq!(heap.transits, cal.transits, "{name}: transit counts differ");
+        println!(
+            "smoke {name}: engines agree, digest {:?}, {} transits",
+            heap.digest, heap.transits
+        );
     }
     println!("quick-smoke OK: heap and calendar engines agree on all topologies");
 }
@@ -175,13 +208,18 @@ fn write_json(path: &str, repro_baseline_s: Option<f64>, repro_current_s: Option
         let _ = f(EngineKind::Calendar, 5.0);
         let mut engine_rows = Vec::new();
         for (ename, engine) in ENGINES {
-            let (events, eps) = measure(f, engine, dur_s);
-            println!("{name}/{ename}: {events} events, {eps:.0} events/s");
+            let (run, eps, tps) = measure(f, engine, dur_s);
+            println!(
+                "{name}/{ename}: {} events ({} transits), {eps:.0} events/s, {tps:.0} transits/s",
+                run.events, run.transits
+            );
             engine_rows.push((
                 ename,
                 Json::obj([
-                    ("events", Json::Num(events as f64)),
+                    ("events", Json::Num(run.events as f64)),
                     ("events_per_s", Json::Num(eps.round())),
+                    ("transits", Json::Num(run.transits as f64)),
+                    ("transits_per_s", Json::Num(tps.round())),
                 ]),
             ));
         }
@@ -194,7 +232,9 @@ fn write_json(path: &str, repro_baseline_s: Option<f64>, repro_current_s: Option
         ));
     }
     let mut fields = vec![
-        ("schema", Json::Str("bench_netsim/v1".into())),
+        // v2: coalesced link delivery — events shrank per transit, so the
+        // artifact reports transits/sec alongside events/sec.
+        ("schema", Json::Str("bench_netsim/v2".into())),
         ("bench", Json::Str("bench_engine".into())),
         ("topologies", Json::obj(topo_rows)),
     ];
@@ -242,7 +282,7 @@ fn compare_baseline(path: &str) -> Result<(), String> {
                 .and_then(|e| e.get("events_per_s"))
                 .and_then(|v| v.as_f64())
                 .ok_or_else(|| format!("baseline {path} has no {name}/{ename} events_per_s"))?;
-            let (_, eps) = measure(f, engine, 20.0);
+            let (_, eps, _) = measure(f, engine, 20.0);
             let floor = baseline_eps / TOLERANCE;
             let verdict = if eps < floor { "COLLAPSE" } else { "ok" };
             println!(
@@ -280,8 +320,12 @@ fn bench(c: &mut Criterion) {
     // per-iteration timing does not show directly.
     for (name, f, _) in TOPOLOGIES {
         for (ename, engine) in ENGINES {
-            let (events, eps) = measure(f, engine, 20.0);
-            println!("engine/{name}/{ename}: {events} events, {eps:.0} events/s");
+            let (run, eps, tps) = measure(f, engine, 20.0);
+            println!(
+                "engine/{name}/{ename}: {} events ({} transits), {eps:.0} events/s, \
+                 {tps:.0} transits/s",
+                run.events, run.transits
+            );
         }
     }
 }

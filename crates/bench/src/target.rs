@@ -136,6 +136,15 @@ pub fn execute(
                 0.0
             }),
         ),
+        ("engine_transits", Json::Num(engine.transits as f64)),
+        (
+            "engine_transits_per_s",
+            Json::Num(if stats.serial_equiv.as_secs_f64() > 0.0 {
+                engine.transits as f64 / stats.serial_equiv.as_secs_f64()
+            } else {
+                0.0
+            }),
+        ),
         (
             "engine_stale_timer_pops",
             Json::Num(engine.stale_timer_pops as f64),
@@ -146,12 +155,14 @@ pub fn execute(
         ),
         ("engine_wheel_hwm", Json::Num(engine.wheel_hwm as f64)),
         ("engine_far_hwm", Json::Num(engine.far_hwm as f64)),
-        ("engine_slab_hwm", Json::Num(engine.slab_hwm as f64)),
+        ("engine_ring_hwm", Json::Num(engine.ring_hwm as f64)),
         (
             "engine_random_loss_drops",
             Json::Num(engine.random_loss_drops as f64),
         ),
     ]);
+    #[cfg(feature = "profile")]
+    engine_meta.push(("engine_profile", profile_meta()));
     // Live-path evidence: the shaping timeline each emulated path actually
     // applied during this target's wall-clock runs (empty for pure-sim
     // targets). Volatile by nature, hence the meta sidecar, not the artifact.
@@ -270,4 +281,23 @@ pub fn opt_num(v: Option<f64>) -> Json {
         Some(x) => Json::Num(x),
         None => Json::Null,
     }
+}
+
+/// The hot-path profiler's cumulative per-event-kind breakdown, as a JSON
+/// object for `.meta.json` sidecars. Only compiled with the `profile`
+/// feature; the counters are process-wide, so callers wanting a per-target
+/// view should snapshot-and-delta like `execute` does for engine telemetry.
+#[cfg(feature = "profile")]
+pub fn profile_meta() -> Json {
+    use netsim::telemetry::profile;
+    let snap = profile::snapshot();
+    Json::obj(profile::KIND_NAMES.iter().enumerate().map(|(i, &name)| {
+        (
+            name,
+            Json::obj([
+                ("count", Json::Num(snap.counts[i] as f64)),
+                ("ticks", Json::Num(snap.ticks[i] as f64)),
+            ]),
+        )
+    }))
 }

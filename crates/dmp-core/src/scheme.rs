@@ -51,6 +51,14 @@ impl DynamicQueue {
         self.q.drain(..n).collect()
     }
 
+    /// Fetch a single packet from the head of the queue. The allocation-free
+    /// counterpart of [`pull`](Self::pull) for per-packet consumers (the
+    /// simulator's DMP server pulls this way so its steady state never
+    /// touches the heap).
+    pub fn pull_one(&mut self) -> Option<StreamPacket> {
+        self.q.pop_front()
+    }
+
     /// Peek at the next packet without removing it.
     pub fn peek(&self) -> Option<&StreamPacket> {
         self.q.front()
@@ -140,6 +148,12 @@ impl StaticSplitter {
         let q = &mut self.queues[k];
         let n = space.min(q.len());
         q.drain(..n).collect()
+    }
+
+    /// Fetch a single packet assigned to path `k` (allocation-free
+    /// counterpart of [`pull`](Self::pull)).
+    pub fn pull_one(&mut self, k: usize) -> Option<StreamPacket> {
+        self.queues[k].pop_front()
     }
 
     /// Packets waiting for path `k`.

@@ -39,9 +39,21 @@ impl StreamTrace {
     /// Create an empty trace for a run of the given video. `end_ns` is the
     /// experiment end time.
     pub fn new(video: VideoSpec, end_ns: u64) -> Self {
+        // Reserve for the whole observation window up front (generation can
+        // never outpace `rate_pps × end`): the per-packet push on the
+        // steady-state path must not reallocate, both for throughput and for
+        // the zero-allocation gate in `bench_profile`. Capacity is an upper
+        // bound — generation usually starts after a warmup — and capacity
+        // alone never changes a recorded byte.
+        // Clamped: callers may pass `end_ns = u64::MAX` for an unbounded
+        // trace, and a multi-hour window should grow normally rather than
+        // reserve gigabytes up front.
+        const MAX_RESERVE: usize = 1 << 22;
+        let cap = ((video.rate_pps * (end_ns as f64 / 1e9)).ceil() as usize).saturating_add(1);
+        let cap = cap.min(MAX_RESERVE);
         Self {
             video,
-            records: Vec::new(),
+            records: Vec::with_capacity(cap),
             end_ns,
             label: String::new(),
         }

@@ -177,8 +177,11 @@ impl ExperimentSpec {
         // v5: fleet-scale multi-session runs joined the shared runner cache
         // namespace and trace stems gained a scope component; bumped so no
         // pre-fleet entry can be served to a post-fleet batch.
+        // v6: coalesced link delivery and per-link RNG streams — event
+        // sequence numbers and the random-loss draws both changed, so no v5
+        // summary can be byte-compatible with a v6 run.
         format!(
-            "dmp-sim/v5/{self:?}/scenario#{:016x}",
+            "dmp-sim/v6/{self:?}/scenario#{:016x}",
             self.scenario.stable_hash()
         )
     }
@@ -217,8 +220,99 @@ pub struct RunOutput {
     pub paths: Vec<MeasuredPath>,
 }
 
+/// An experiment built but not yet run: topology, background traffic,
+/// scheduler/client apps, scripted scenario, and (optionally) the flight
+/// recorder, all wired into a [`Sim`]. [`run`] is [`build`] + drive +
+/// [`BuiltExperiment::finish`]; the phases are public so harnesses can
+/// instrument the event loop itself — the zero-allocation gate in
+/// `bench_profile` builds first (arena growth allowed), warms up, then
+/// asserts the steady-state loop never touches the heap.
+pub struct BuiltExperiment {
+    sim: Sim,
+    end: netsim::SimTime,
+    trace: Rc<RefCell<StreamTrace>>,
+    flows: Vec<netsim::FlowId>,
+    recording: Option<(Rc<RefCell<Recorder>>, PathBuf, String)>,
+}
+
+impl BuiltExperiment {
+    /// End of the run (warmup + video) on the simulation clock.
+    pub fn end(&self) -> netsim::SimTime {
+        self.end
+    }
+
+    /// Events processed so far (progress/perf metric).
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
+    }
+
+    /// Packet transits delivered so far.
+    pub fn transits(&self) -> u64 {
+        self.sim.transits()
+    }
+
+    /// Drive the event loop to simulated time `t`, capped at [`end`]
+    /// (self's, not the trait's). Call repeatedly to split a run into
+    /// instrumented phases; the split points change nothing — the event
+    /// sequence is identical to one uninterrupted run.
+    ///
+    /// [`end`]: Self::end
+    pub fn advance_to(&mut self, t: netsim::SimTime) {
+        self.sim.run_until(t.min(self.end));
+    }
+
+    /// Extract the delivery trace and per-path measurements, flushing the
+    /// flight-recorder file if one was attached. The caller is expected to
+    /// have driven the run to [`Self::end`] (an early finish just reports
+    /// the partial trace).
+    pub fn finish(self) -> RunOutput {
+        let BuiltExperiment {
+            sim,
+            trace,
+            flows,
+            recording,
+            ..
+        } = self;
+        let trace = trace.borrow().clone();
+        let shares = trace.path_shares(flows.len());
+        let paths = flows
+            .iter()
+            .zip(shares)
+            .map(|(&f, share)| {
+                let sender = sim.sender(f);
+                MeasuredPath {
+                    loss: sim.flow_loss_rate(f),
+                    rtt_s: sender.rtt.mean_rtt_secs().unwrap_or(0.0),
+                    to_ratio: sender.rtt.to_ratio().unwrap_or(0.0),
+                    share,
+                }
+            })
+            .collect();
+
+        if let Some((rec, path, label)) = recording {
+            // The Sim's tracer holds the other recorder handle; drop it first.
+            drop(sim);
+            let rec = Rc::try_unwrap(rec)
+                .ok()
+                .expect("sim dropped its recorder handle")
+                .into_inner();
+            let out = rec.finish().expect("flush trace file");
+            obs::record_trace_file(label, path, out.events);
+        }
+
+        RunOutput { trace, paths }
+    }
+}
+
 /// Run one experiment.
 pub fn run(spec: &ExperimentSpec) -> RunOutput {
+    let mut built = build(spec);
+    built.advance_to(built.end());
+    built.finish()
+}
+
+/// Build one experiment (topology, apps, tracer) without running it.
+pub fn build(spec: &ExperimentSpec) -> BuiltExperiment {
     let setting = &spec.setting;
     let k = match spec.scheduler {
         SchedulerKind::SinglePath => 1,
@@ -378,36 +472,13 @@ pub fn run(spec: &ExperimentSpec) -> RunOutput {
     }
     sim.add_app(Box::new(VideoClient::new(&flows, trace.clone())));
 
-    sim.run_until(end);
-
-    let trace = trace.borrow().clone();
-    let shares = trace.path_shares(flows.len());
-    let paths = flows
-        .iter()
-        .zip(shares)
-        .map(|(&f, share)| {
-            let sender = sim.sender(f);
-            MeasuredPath {
-                loss: sim.flow_loss_rate(f),
-                rtt_s: sender.rtt.mean_rtt_secs().unwrap_or(0.0),
-                to_ratio: sender.rtt.to_ratio().unwrap_or(0.0),
-                share,
-            }
-        })
-        .collect();
-
-    if let Some((rec, path, label)) = recording {
-        // The Sim's tracer holds the other recorder handle; drop it first.
-        drop(sim);
-        let rec = Rc::try_unwrap(rec)
-            .ok()
-            .expect("sim dropped its recorder handle")
-            .into_inner();
-        let out = rec.finish().expect("flush trace file");
-        obs::record_trace_file(label, path, out.events);
+    BuiltExperiment {
+        sim,
+        end,
+        trace,
+        flows,
+        recording,
     }
-
-    RunOutput { trace, paths }
 }
 
 /// Compact, serialisable result of one run: everything `BatchOutput` needs,

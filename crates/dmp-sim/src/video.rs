@@ -2,7 +2,6 @@
 //! static-streaming server, and the recording client.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use dmp_core::scheme::{DynamicQueue, StaticSplitter, StreamPacket};
@@ -79,22 +78,25 @@ impl DmpServer {
                 if space == 0 || self.queue.is_empty() {
                     break;
                 }
-                let pulled = self.queue.pull(space);
-                if api.trace_enabled() {
-                    // The pull decision precedes the data entering the stack.
-                    let after = self.queue.len();
-                    for (j, p) in pulled.iter().enumerate() {
+                // Pull one packet at a time (allocation-free; the batch
+                // `pull` would build a Vec per lock acquisition). Each pull
+                // decision is traced before its data enters the stack.
+                for _ in 0..space {
+                    let Some(p) = self.queue.pull_one() else {
+                        break;
+                    };
+                    if api.trace_enabled() {
                         api.trace_emit(obs::EventKind::Pull {
                             path: path as u32,
                             seq: p.seq,
-                            queued: (after + pulled.len() - 1 - j) as u32,
+                            queued: self.queue.len() as u32,
                         });
                     }
-                    api.trace_srv_queue(after);
-                }
-                for p in pulled {
                     let ok = api.push_chunk(flow, chunk_of(p));
                     debug_assert!(ok, "space was checked");
+                }
+                if api.trace_enabled() {
+                    api.trace_srv_queue(self.queue.len());
                 }
             }
             if self.queue.is_empty() {
@@ -190,7 +192,10 @@ impl StaticServer {
             if space == 0 || self.splitter.queued(k) == 0 {
                 break;
             }
-            for p in self.splitter.pull(k, space) {
+            for _ in 0..space {
+                let Some(p) = self.splitter.pull_one(k) else {
+                    break;
+                };
                 let ok = api.push_chunk(self.flows[k], chunk_of(p));
                 debug_assert!(ok, "space was checked");
             }
@@ -243,31 +248,34 @@ impl App for StaticServer {
 /// `dmp_core::metrics` evaluates both playback- and arrival-order lateness).
 pub struct VideoClient {
     trace: SharedTrace,
-    path_of: HashMap<FlowId, u8>,
+    /// `flows[k]` is path `k`. K is tiny (2-4 paths), so a linear scan on
+    /// every delivery beats hashing the flow id.
+    flows: Vec<FlowId>,
 }
 
 impl VideoClient {
     /// A client receiving `flows`, where `flows[k]` is path `k`.
     pub fn new(flows: &[FlowId], trace: SharedTrace) -> Self {
-        let path_of = flows
-            .iter()
-            .enumerate()
-            .map(|(k, &f)| (f, k as u8))
-            .collect();
-        Self { trace, path_of }
+        Self {
+            trace,
+            flows: flows.to_vec(),
+        }
     }
 }
 
 impl App for VideoClient {
     fn start(&mut self, api: &mut SimApi<'_>) {
-        let flows: Vec<FlowId> = self.path_of.keys().copied().collect();
-        for f in flows {
-            api.receive_flow(f);
+        for k in 0..self.flows.len() {
+            api.receive_flow(self.flows[k]);
         }
     }
 
     fn on_receive(&mut self, api: &mut SimApi<'_>, flow: FlowId, chunks: &[AppChunk]) {
-        let path = self.path_of[&flow];
+        let path = self
+            .flows
+            .iter()
+            .position(|&f| f == flow)
+            .expect("subscribed flow") as u8;
         let now = api.now();
         let mut trace = self.trace.borrow_mut();
         for c in chunks {

@@ -133,6 +133,7 @@ impl FleetResult {
         let shard = |t: &EngineTelemetry| {
             Json::obj([
                 ("events_processed", Json::Num(t.events_processed as f64)),
+                ("transits", Json::Num(t.transits as f64)),
                 ("stale_timer_pops", Json::Num(t.stale_timer_pops as f64)),
                 (
                     "deferred_timer_pushes",
@@ -140,7 +141,7 @@ impl FleetResult {
                 ),
                 ("wheel_hwm", Json::Num(t.wheel_hwm as f64)),
                 ("far_hwm", Json::Num(t.far_hwm as f64)),
-                ("slab_hwm", Json::Num(t.slab_hwm as f64)),
+                ("ring_hwm", Json::Num(t.ring_hwm as f64)),
                 ("random_loss_drops", Json::Num(t.random_loss_drops as f64)),
             ])
         };

@@ -340,6 +340,7 @@ impl JsonCodec for ShardOutput {
                 "telemetry",
                 Json::obj([
                     ("events_processed", Json::Num(t.events_processed as f64)),
+                    ("transits", Json::Num(t.transits as f64)),
                     ("stale_timer_pops", Json::Num(t.stale_timer_pops as f64)),
                     (
                         "deferred_timer_pushes",
@@ -347,7 +348,7 @@ impl JsonCodec for ShardOutput {
                     ),
                     ("wheel_hwm", Json::Num(t.wheel_hwm as f64)),
                     ("far_hwm", Json::Num(t.far_hwm as f64)),
-                    ("slab_hwm", Json::Num(t.slab_hwm as f64)),
+                    ("ring_hwm", Json::Num(t.ring_hwm as f64)),
                     ("random_loss_drops", Json::Num(t.random_loss_drops as f64)),
                 ]),
             ),
@@ -382,11 +383,12 @@ impl JsonCodec for ShardOutput {
             outcomes,
             telemetry: EngineTelemetry {
                 events_processed: field("events_processed")?,
+                transits: field("transits")?,
                 stale_timer_pops: field("stale_timer_pops")?,
                 deferred_timer_pushes: field("deferred_timer_pushes")?,
                 wheel_hwm: field("wheel_hwm")?,
                 far_hwm: field("far_hwm")?,
-                slab_hwm: field("slab_hwm")?,
+                ring_hwm: field("ring_hwm")?,
                 random_loss_drops: field("random_loss_drops")?,
             },
         })

@@ -141,9 +141,13 @@ impl FleetSpec {
     /// `Debug` (which round-trips `f64` exactly); the timeline's stable hash
     /// is appended explicitly so two fleets with different arrival scripts
     /// can never be served each other's cached shard outputs.
+    ///
+    /// Version history: v1 original; v2 coalesced link delivery (event
+    /// counts shrink, per-link RNG streams, telemetry gains
+    /// `transits`/`ring_hwm`).
     pub fn config_repr(&self) -> String {
         format!(
-            "fleet/v1/{self:?}/timeline#{:016x}",
+            "fleet/v2/{self:?}/timeline#{:016x}",
             self.timeline.stable_hash()
         )
     }

@@ -50,7 +50,6 @@ pub mod packet;
 pub mod red;
 pub mod scheduler;
 pub mod sim;
-pub mod slab;
 pub mod tcp;
 pub mod telemetry;
 pub mod time;

@@ -4,10 +4,29 @@
 //! This mirrors ns-2's `SimpleLink` + `DropTail` queue, which is where all
 //! packet loss in the paper's simulations happens (buffer overflow at the
 //! bottleneck).
+//!
+//! # Coalesced delivery
+//!
+//! The link keeps one ring of packets: the front segment is *on the wire*
+//! (departed, each stamped with its arrival time), the back segment is
+//! *queued* behind the transmitter. Nothing is scheduled per packet —
+//! [`Link::advance`] lazily drains queue → wire up to the current time, and
+//! the simulator keeps a single tracked delivery event per link aimed at the
+//! wire head. Because serialisation is FIFO and arrivals are clamped
+//! monotone, the head's arrival time never moves once stamped, so that one
+//! event never goes stale. Compared to the classic two-events-per-transit
+//! (`LinkTxDone` + `Arrival`) design this roughly halves scheduler traffic
+//! on transit-heavy topologies.
+//!
+//! Laziness preserves the runtime-mutation contract exactly: every mutation
+//! (and every offer/delivery) advances the link to `now` first, so rate and
+//! delay changes apply to packets that start serialising after the call, and
+//! an admin-down flushes precisely the packets that have not yet started.
 
 use std::collections::VecDeque;
 
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use crate::packet::{NodeId, Packet, PacketKind};
 use crate::red::{RedParams, RedState, RedVerdict};
@@ -61,9 +80,11 @@ impl LinkSpec {
         }
     }
 
-    /// Time to serialise `bytes` onto the wire, ns.
+    /// Time to serialise `bytes` onto the wire, ns. Computed as a single
+    /// multiply by the per-byte cost so it agrees bit-for-bit with the
+    /// cached hot path in [`Link`].
     pub fn tx_time(&self, bytes: u32) -> SimTime {
-        (f64::from(bytes) * 8.0 / self.bandwidth_bps * 1e9).round() as SimTime
+        (f64::from(bytes) * (8e9 / self.bandwidth_bps)).round() as SimTime
     }
 }
 
@@ -84,8 +105,12 @@ pub struct LinkStats {
     pub admin_dropped: u64,
     /// Bytes transmitted.
     pub bytes_tx: u64,
-    /// Peak queue occupancy observed.
+    /// Peak queue occupancy observed (packets waiting behind the
+    /// transmitter, excluding the wire).
     pub peak_queue: usize,
+    /// Peak ring occupancy (queued + on the wire) — the per-link analogue of
+    /// the retired global packet-slab high-water mark.
+    pub peak_ring: usize,
     /// Sum of queue lengths sampled at packet arrivals (divide by
     /// `queue_samples` for the arrival-averaged queue).
     pub queue_len_sum: u64,
@@ -104,9 +129,17 @@ impl LinkStats {
     }
 }
 
-/// A unidirectional link. The simulator drives it: `offer` either starts a
-/// transmission (returns the packet to serialise) or queues/drops; on each
-/// transmission-done event, `tx_done` hands back the next packet to send.
+/// One slot of the link ring: within the wire segment `at` is the stamped
+/// arrival time; within the queued segment it is meaningless (0).
+#[derive(Debug, Clone, Copy)]
+struct WireEntry {
+    at: SimTime,
+    pkt: Packet,
+}
+
+/// A unidirectional link. The simulator drives it lazily: `advance` to the
+/// current time before every touch, then `offer` to inject a packet and
+/// `pop_due` to collect arrivals at the tracked delivery time.
 #[derive(Debug)]
 pub struct Link {
     /// Static parameters. Mutable at runtime through the `set_*` methods
@@ -118,9 +151,22 @@ pub struct Link {
     pub from: NodeId,
     /// Node at the receiving end.
     pub to: NodeId,
-    busy: bool,
     admin_down: bool,
-    q: VecDeque<Packet>,
+    /// `ring[..started]` is the wire (departed, arrival-stamped, arrival
+    /// times monotone non-decreasing); `ring[started..]` is the queue.
+    ring: VecDeque<WireEntry>,
+    started: usize,
+    /// When the transmitter finishes serialising the last started packet.
+    free_at: SimTime,
+    /// Nanoseconds per byte at the current rate (`8e9 / bandwidth_bps`),
+    /// cached so the per-departure path is one multiply, not a divide.
+    ns_per_byte: f64,
+    /// Arrival stamp of the most recently departed packet: later departures
+    /// clamp to this so the wire stays FIFO even across delay reductions.
+    last_arrival: SimTime,
+    /// Per-link random stream (Bernoulli loss, RED). Seeded per link so
+    /// loss-free links never draw and lossy links never perturb each other.
+    rng: SmallRng,
     red: Option<RedState>,
     /// Statistics.
     pub stats: LinkStats,
@@ -129,33 +175,75 @@ pub struct Link {
 /// Outcome of offering a packet to a link.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Offer {
-    /// The link was idle; start transmitting this packet now.
-    StartTx(Packet),
+    /// The link was idle; the packet departed onto the wire immediately.
+    Started,
     /// The packet was queued behind the current transmission.
     Queued,
-    /// The queue was full; the packet is gone.
+    /// The queue was full (or the link down/lossy); the packet is gone.
     Dropped(Packet),
 }
 
 impl Link {
-    /// Create an idle link from `from` delivering to `to`.
-    pub fn new(spec: LinkSpec, from: NodeId, to: NodeId) -> Self {
+    /// Serialisation time from the cached per-byte cost; identical to
+    /// `self.spec.tx_time(bytes)` by construction.
+    #[inline]
+    fn tx_ns(&self, bytes: u32) -> SimTime {
+        (f64::from(bytes) * self.ns_per_byte).round() as SimTime
+    }
+
+    /// Create an idle link from `from` delivering to `to`. `seed` starts the
+    /// link's private random stream (derive it from the sim seed and the
+    /// link's index for determinism).
+    pub fn new(spec: LinkSpec, from: NodeId, to: NodeId, seed: u64) -> Self {
         Self {
             spec,
             from,
             to,
-            busy: false,
             admin_down: false,
-            q: VecDeque::new(),
+            ring: VecDeque::new(),
+            started: 0,
+            free_at: 0,
+            ns_per_byte: 8e9 / spec.bandwidth_bps,
+            last_arrival: 0,
+            rng: SmallRng::seed_from_u64(seed),
             red: spec.red.map(RedState::new),
             stats: LinkStats::default(),
         }
     }
 
-    /// Offer a packet for transmission. `rng` drives the link's Bernoulli
-    /// loss process (unused when `random_loss` is 0).
-    pub fn offer(&mut self, pkt: Packet, rng: &mut impl Rng) -> Offer {
-        self.stats.queue_len_sum += self.q.len() as u64;
+    /// Drain queue → wire up to `now`: every queued packet whose
+    /// serialisation starts at or before `now` departs, at the rate and
+    /// delay in force at its start time. `on_depart(start, queue_len)` fires
+    /// per departure (for queue-occupancy tracing) with the queue length
+    /// remaining after the pop.
+    ///
+    /// Postcondition: queued packets remain only if the transmitter is still
+    /// busy (`free_at > now`).
+    pub fn advance(&mut self, now: SimTime, mut on_depart: impl FnMut(SimTime, usize)) {
+        while self.started < self.ring.len() && self.free_at <= now {
+            let start = self.free_at;
+            let size = self.ring[self.started].pkt.size_bytes;
+            let done = start + self.tx_ns(size);
+            let entry = &mut self.ring[self.started];
+            let arrive = (done + self.spec.delay).max(self.last_arrival);
+            entry.at = arrive;
+            self.last_arrival = arrive;
+            self.free_at = done;
+            self.stats.bytes_tx += u64::from(entry.pkt.size_bytes);
+            self.started += 1;
+            on_depart(start, self.ring.len() - self.started);
+        }
+    }
+
+    /// Offer a packet for transmission at `now`. The caller must have
+    /// [`advance`](Self::advance)d the link to `now` first.
+    pub fn offer(&mut self, now: SimTime, pkt: Packet) -> Offer {
+        debug_assert!(
+            self.started == self.ring.len() || self.free_at > now,
+            "offer on un-advanced link"
+        );
+        let queued = self.ring.len() - self.started;
+        self.stats.queue_len_sum += queued as u64;
         self.stats.queue_samples += 1;
         if self.admin_down {
             self.stats.dropped += 1;
@@ -165,7 +253,7 @@ impl Link {
             }
             return Offer::Dropped(pkt);
         }
-        if self.spec.random_loss > 0.0 && rng.gen_range(0.0..1.0) < self.spec.random_loss {
+        if self.spec.random_loss > 0.0 && self.rng.gen_range(0.0..1.0) < self.spec.random_loss {
             self.stats.dropped += 1;
             self.stats.random_dropped += 1;
             if pkt.kind == PacketKind::Data {
@@ -174,7 +262,7 @@ impl Link {
             return Offer::Dropped(pkt);
         }
         if let Some(red) = &mut self.red {
-            if red.on_arrival(self.q.len(), rng) == RedVerdict::Drop {
+            if red.on_arrival(queued, &mut self.rng) == RedVerdict::Drop {
                 self.stats.dropped += 1;
                 if pkt.kind == PacketKind::Data {
                     self.stats.data_dropped += 1;
@@ -182,15 +270,24 @@ impl Link {
                 return Offer::Dropped(pkt);
             }
         }
-        if !self.busy {
-            self.busy = true;
+        if self.free_at <= now {
+            // Transmitter idle (and, post-advance, the queue is empty):
+            // depart immediately.
+            let done = now + self.tx_ns(pkt.size_bytes);
+            let arrive = (done + self.spec.delay).max(self.last_arrival);
+            self.free_at = done;
+            self.last_arrival = arrive;
+            self.ring.push_back(WireEntry { at: arrive, pkt });
+            self.started += 1;
             self.stats.accepted += 1;
             self.stats.bytes_tx += u64::from(pkt.size_bytes);
-            Offer::StartTx(pkt)
-        } else if self.q.len() < self.spec.queue_pkts {
-            self.q.push_back(pkt);
+            self.stats.peak_ring = self.stats.peak_ring.max(self.ring.len());
+            Offer::Started
+        } else if queued < self.spec.queue_pkts {
+            self.ring.push_back(WireEntry { at: 0, pkt });
             self.stats.accepted += 1;
-            self.stats.peak_queue = self.stats.peak_queue.max(self.q.len());
+            self.stats.peak_queue = self.stats.peak_queue.max(queued + 1);
+            self.stats.peak_ring = self.stats.peak_ring.max(self.ring.len());
             Offer::Queued
         } else {
             self.stats.dropped += 1;
@@ -201,19 +298,29 @@ impl Link {
         }
     }
 
-    /// The current transmission finished; returns the next queued packet to
-    /// serialise, if any (the link goes idle otherwise).
-    pub fn tx_done(&mut self) -> Option<Packet> {
-        debug_assert!(self.busy, "tx_done on idle link");
-        match self.q.pop_front() {
-            Some(pkt) => {
-                self.stats.bytes_tx += u64::from(pkt.size_bytes);
-                Some(pkt)
+    /// Pop the wire head if it has arrived by `now`. The simulator calls
+    /// this in a loop at the tracked delivery time (arrivals stamped equal
+    /// coalesce into one event).
+    pub fn pop_due(&mut self, now: SimTime) -> Option<Packet> {
+        if self.started > 0 {
+            let head = self.ring.front().expect("wire segment non-empty");
+            if head.at <= now {
+                let pkt = head.pkt;
+                self.ring.pop_front();
+                self.started -= 1;
+                return Some(pkt);
             }
-            None => {
-                self.busy = false;
-                None
-            }
+        }
+        None
+    }
+
+    /// Arrival time of the wire head (what the simulator's tracked delivery
+    /// event must aim at), if anything is in flight.
+    pub fn next_arrival(&self) -> Option<SimTime> {
+        if self.started > 0 {
+            Some(self.ring.front().expect("wire segment non-empty").at)
+        } else {
+            None
         }
     }
 
@@ -221,17 +328,18 @@ impl Link {
     // Runtime mutation (fault injection / path dynamics)
     // ------------------------------------------------------------------
 
-    /// Change the transmission rate. Applies to packets that start
-    /// serialising after the call; the packet on the wire (if any) finishes
-    /// at the old rate.
+    /// Change the transmission rate. The caller must `advance` to `now`
+    /// first; the change then applies to packets that start serialising
+    /// after the call, never to packets already departed.
     pub fn set_bandwidth_bps(&mut self, bps: f64) {
         assert!(bps > 0.0, "bandwidth must be positive (got {bps})");
         self.spec.bandwidth_bps = bps;
+        self.ns_per_byte = 8e9 / bps;
     }
 
-    /// Change the propagation delay. Applies to packets that start
-    /// serialising after the call; packets already in flight keep their old
-    /// arrival time (no reordering on the wire).
+    /// Change the propagation delay. The caller must `advance` to `now`
+    /// first; packets already on the wire keep their stamped arrival time,
+    /// and later departures clamp monotone (no reordering on the wire).
     pub fn set_delay(&mut self, delay: SimTime) {
         self.spec.delay = delay;
     }
@@ -242,17 +350,19 @@ impl Link {
         self.spec.random_loss = p;
     }
 
-    /// Administratively down (or up) the link. Going down flushes the queue
-    /// and returns the flushed packets so the caller can account per-flow
-    /// drops; while down every offered packet is dropped. The packet being
-    /// serialised (if any) completes and propagates — as on a real link where
-    /// bits already on the wire still arrive. Going up returns an empty Vec.
+    /// Administratively down (or up) the link. The caller must `advance` to
+    /// `now` first. Going down flushes the queue (packets that have not
+    /// started serialising) and returns the flushed packets so the caller
+    /// can account per-flow drops; while down every offered packet is
+    /// dropped. Packets already on the wire complete and propagate — as on a
+    /// real link where bits already sent still arrive. Going up returns an
+    /// empty Vec.
     pub fn set_admin_down(&mut self, down: bool) -> Vec<Packet> {
         self.admin_down = down;
         if !down {
             return Vec::new();
         }
-        let flushed: Vec<Packet> = self.q.drain(..).collect();
+        let flushed: Vec<Packet> = self.ring.drain(self.started..).map(|e| e.pkt).collect();
         for pkt in &flushed {
             self.stats.dropped += 1;
             self.stats.admin_dropped += 1;
@@ -268,14 +378,19 @@ impl Link {
         self.admin_down
     }
 
-    /// Packets currently queued (excluding the one in transmission).
+    /// Packets currently queued (excluding any on the wire).
     pub fn queue_len(&self) -> usize {
-        self.q.len()
+        self.ring.len() - self.started
     }
 
-    /// Is a transmission in progress?
-    pub fn is_busy(&self) -> bool {
-        self.busy
+    /// Packets departed but not yet delivered.
+    pub fn in_flight(&self) -> usize {
+        self.started
+    }
+
+    /// Is a transmission in progress at `now`? (Meaningful after `advance`.)
+    pub fn is_busy(&self, now: SimTime) -> bool {
+        self.free_at > now
     }
 
     /// Average utilisation given total elapsed time.
@@ -298,12 +413,21 @@ mod tests {
     }
 
     fn link(cap: usize) -> Link {
-        Link::new(LinkSpec::from_table(1.0, 10.0, cap), 0, 1)
+        Link::new(LinkSpec::from_table(1.0, 10.0, cap), 0, 1, 1)
     }
 
-    fn rng() -> rand::rngs::SmallRng {
-        use rand::SeedableRng;
-        rand::rngs::SmallRng::seed_from_u64(1)
+    /// Advance with no tracing and drain every arrival due by `now`.
+    fn drain(l: &mut Link, now: SimTime) -> Vec<(SimTime, u64)> {
+        l.advance(now, |_, _| {});
+        let mut out = Vec::new();
+        while let Some(at) = l.next_arrival() {
+            if at > now {
+                break;
+            }
+            let p = l.pop_due(now).unwrap();
+            out.push((at, p.seq));
+        }
+        out
     }
 
     #[test]
@@ -316,64 +440,132 @@ mod tests {
     #[test]
     fn idle_link_starts_immediately() {
         let mut l = link(2);
-        match l.offer(pkt(0), &mut rng()) {
-            Offer::StartTx(p) => assert_eq!(p.seq, 0),
-            other => panic!("expected StartTx, got {other:?}"),
-        }
-        assert!(l.is_busy());
+        assert_eq!(l.offer(0, pkt(0)), Offer::Started);
+        assert!(l.is_busy(0));
+        // 1460 B payload + 40 B header at 1 Mbps = 12 ms tx + 10 ms delay.
+        assert_eq!(l.next_arrival(), Some(22_000_000));
     }
 
     #[test]
     fn busy_link_queues_then_drops() {
         let mut l = link(2);
-        assert!(matches!(l.offer(pkt(0), &mut rng()), Offer::StartTx(_)));
-        assert_eq!(l.offer(pkt(1), &mut rng()), Offer::Queued);
-        assert_eq!(l.offer(pkt(2), &mut rng()), Offer::Queued);
-        assert!(matches!(l.offer(pkt(3), &mut rng()), Offer::Dropped(_)));
+        assert_eq!(l.offer(0, pkt(0)), Offer::Started);
+        assert_eq!(l.offer(0, pkt(1)), Offer::Queued);
+        assert_eq!(l.offer(0, pkt(2)), Offer::Queued);
+        assert!(matches!(l.offer(0, pkt(3)), Offer::Dropped(_)));
         assert_eq!(l.stats.dropped, 1);
         assert_eq!(l.stats.data_dropped, 1);
         assert_eq!(l.queue_len(), 2);
+        assert_eq!(l.stats.peak_ring, 3);
     }
 
     #[test]
-    fn tx_done_drains_fifo_then_idles() {
-        let mut l = link(2);
-        assert!(matches!(l.offer(pkt(0), &mut rng()), Offer::StartTx(_)));
-        l.offer(pkt(1), &mut rng());
-        l.offer(pkt(2), &mut rng());
-        assert_eq!(l.tx_done().map(|p| p.seq), Some(1));
-        assert_eq!(l.tx_done().map(|p| p.seq), Some(2));
-        assert_eq!(l.tx_done(), None);
-        assert!(!l.is_busy());
+    fn back_to_back_transmissions_space_arrivals_by_tx_time() {
+        // Three packets offered together: the wire serialises them
+        // back-to-back, so arrivals are spaced by exactly one tx time.
+        let mut l = link(5);
+        let tx = l.spec.tx_time(1500);
+        let delay = l.spec.delay;
+        l.offer(0, pkt(0));
+        l.offer(0, pkt(1));
+        l.offer(0, pkt(2));
+        let end = 3 * tx + delay;
+        let got = drain(&mut l, end);
+        assert_eq!(
+            got,
+            vec![(tx + delay, 0), (2 * tx + delay, 1), (3 * tx + delay, 2)]
+        );
+        assert!(!l.is_busy(end));
+        assert_eq!(l.in_flight(), 0);
+    }
+
+    #[test]
+    fn advance_is_lazy_and_exact() {
+        let mut l = link(5);
+        let tx = l.spec.tx_time(1500);
+        l.offer(0, pkt(0));
+        l.offer(0, pkt(1));
+        // Advance to just before the first tx completes: nothing new departs.
+        l.advance(tx - 1, |_, _| {});
+        assert_eq!(l.in_flight(), 1);
+        assert_eq!(l.queue_len(), 1);
+        // At exactly tx the second packet departs, starting at `tx`.
+        let mut starts = Vec::new();
+        l.advance(tx, |s, q| starts.push((s, q)));
+        assert_eq!(starts, vec![(tx, 0)]);
+        assert_eq!(l.in_flight(), 2);
+    }
+
+    #[test]
+    fn mid_flight_rate_step_applies_to_not_yet_started_packets() {
+        // Two queued packets; halve the rate while the first serialises.
+        // The first keeps its old tx time, the second takes twice as long.
+        let mut l = link(5);
+        let tx = l.spec.tx_time(1500);
+        let delay = l.spec.delay;
+        l.offer(0, pkt(0));
+        l.offer(0, pkt(1));
+        l.advance(tx / 2, |_, _| {});
+        l.set_bandwidth_bps(0.5e6);
+        let slow_tx = l.spec.tx_time(1500);
+        assert_eq!(slow_tx, 2 * tx);
+        let got = drain(&mut l, tx + slow_tx + delay);
+        assert_eq!(got, vec![(tx + delay, 0), (tx + slow_tx + delay, 1)]);
+    }
+
+    #[test]
+    fn mid_flight_delay_cut_never_reorders_the_wire() {
+        // Packet 0 departs with a 10 ms delay (far exceeding its 0.12 ms tx
+        // time); the delay then drops to 0. Packet 1 would naively overtake
+        // it — the monotone clamp makes it arrive at the same instant
+        // instead, preserving FIFO.
+        let mut l = Link::new(LinkSpec::from_table(100.0, 10.0, 5), 0, 1, 1);
+        let tx = l.spec.tx_time(1500);
+        let delay = l.spec.delay;
+        assert!(delay > 2 * tx);
+        l.offer(0, pkt(0));
+        l.offer(0, pkt(1));
+        l.advance(1, |_, _| {});
+        l.set_delay(0);
+        let got = drain(&mut l, 2 * tx + delay);
+        assert_eq!(got, vec![(tx + delay, 0), (tx + delay, 1)]);
     }
 
     #[test]
     fn peak_queue_tracked() {
         let mut l = link(5);
-        l.offer(pkt(0), &mut rng());
+        l.offer(0, pkt(0));
         for i in 1..=4 {
-            l.offer(pkt(i), &mut rng());
+            l.offer(0, pkt(i));
         }
         assert_eq!(l.stats.peak_queue, 4);
+        assert_eq!(l.stats.peak_ring, 5);
     }
 
     #[test]
     fn admin_down_flushes_queue_and_blackholes_offers() {
         let mut l = link(5);
-        assert!(matches!(l.offer(pkt(0), &mut rng()), Offer::StartTx(_)));
-        l.offer(pkt(1), &mut rng());
-        l.offer(pkt(2), &mut rng());
+        let tx = l.spec.tx_time(1500);
+        let delay = l.spec.delay;
+        assert_eq!(l.offer(0, pkt(0)), Offer::Started);
+        l.offer(0, pkt(1));
+        l.offer(0, pkt(2));
+        // Down mid-serialisation: queued packets flush, the wire survives.
+        l.advance(tx / 2, |_, _| {});
         let flushed = l.set_admin_down(true);
         assert_eq!(flushed.len(), 2);
         assert_eq!(l.queue_len(), 0);
         assert_eq!(l.stats.admin_dropped, 2);
-        // The packet on the wire completes; nothing follows it.
-        assert!(matches!(l.offer(pkt(3), &mut rng()), Offer::Dropped(_)));
-        assert_eq!(l.tx_done(), None);
-        assert!(!l.is_busy());
-        // Back up: traffic flows again.
+        assert!(matches!(l.offer(tx / 2, pkt(3)), Offer::Dropped(_)));
+        // The in-flight departure still arrives on time.
+        let got = drain(&mut l, tx + delay);
+        assert_eq!(got, vec![(tx + delay, 0)]);
+        assert!(!l.is_busy(tx + delay));
+        // Back up: traffic flows again, starting from the up time.
         assert!(l.set_admin_down(false).is_empty());
-        assert!(matches!(l.offer(pkt(4), &mut rng()), Offer::StartTx(_)));
+        let t_up = tx + delay;
+        assert_eq!(l.offer(t_up, pkt(4)), Offer::Started);
+        assert_eq!(l.next_arrival(), Some(t_up + tx + delay));
     }
 
     #[test]
@@ -385,15 +577,14 @@ mod tests {
         l.set_delay(crate::time::millis(55.0));
         assert_eq!(l.spec.delay, crate::time::millis(55.0));
         l.set_random_loss(0.5);
-        let mut r = rng();
-        let mut dropped = 0;
+        let mut dropped = 0u64;
+        let mut now = 0;
         for i in 0..1000 {
-            if matches!(l.offer(pkt(i), &mut r), Offer::Dropped(_)) {
+            l.advance(now, |_, _| {});
+            if matches!(l.offer(now, pkt(i)), Offer::Dropped(_)) {
                 dropped += 1;
             }
-            while l.is_busy() {
-                l.tx_done();
-            }
+            now += l.spec.tx_time(1500) + 1;
         }
         assert!((400..600).contains(&dropped), "dropped {dropped}");
         assert_eq!(l.stats.random_dropped, dropped);
@@ -402,18 +593,17 @@ mod tests {
     #[test]
     fn random_loss_drops_at_configured_rate() {
         let spec = LinkSpec::from_table(100.0, 1.0, 1000).with_random_loss(0.25);
-        let mut l = Link::new(spec, 0, 1);
-        let mut r = rng();
-        let mut dropped = 0;
+        let mut l = Link::new(spec, 0, 1, 7);
+        let mut dropped = 0u64;
+        let mut now = 0;
         for i in 0..20_000 {
-            if matches!(l.offer(pkt(i), &mut r), Offer::Dropped(_)) {
+            l.advance(now, |_, _| {});
+            if matches!(l.offer(now, pkt(i)), Offer::Dropped(_)) {
                 dropped += 1;
             }
-            while l.is_busy() {
-                l.tx_done();
-            }
+            now += l.spec.tx_time(1500) + 1;
         }
-        let rate = f64::from(dropped) / 20_000.0;
+        let rate = dropped as f64 / 20_000.0;
         assert!((rate - 0.25).abs() < 0.02, "drop rate {rate}");
     }
 }

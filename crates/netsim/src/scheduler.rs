@@ -133,8 +133,10 @@ fn bucket_of(t: SimTime) -> u64 {
 pub struct CalendarQueue<T> {
     /// The near wheel. Slot `b & BUCKET_MASK` holds all wheel events whose
     /// absolute bucket is `b`; the window invariant (every resident bucket is
-    /// in `[base, base + BUCKETS)`) makes the mapping unambiguous.
-    buckets: Box<[Vec<Entry<T>>]>,
+    /// in `[base, base + BUCKETS)`) makes the mapping unambiguous. The
+    /// fixed-size array (not a slice) lets masked indexing skip the bounds
+    /// check in the push/pop hot paths.
+    buckets: Box<[Vec<Entry<T>>; BUCKETS]>,
     /// One bit per slot: is the bucket non-empty? Lets the pop path skip
     /// runs of empty buckets 64 at a time.
     occupied: [u64; WORDS],
@@ -151,7 +153,17 @@ pub struct CalendarQueue<T> {
 impl<T: Copy> CalendarQueue<T> {
     fn new() -> Self {
         Self {
-            buckets: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            // A modest per-bucket reserve (16 × 32 B × 2048 buckets ≈ 1 MiB)
+            // absorbs the occasional bucket that first sees its peak load
+            // late in a run; heavier-than-reserved buckets still grow and
+            // keep their capacity across wheel rotations.
+            buckets: (0..BUCKETS)
+                .map(|_| Vec::with_capacity(16))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+                .try_into()
+                .ok()
+                .expect("exactly BUCKETS buckets"),
             occupied: [0; WORDS],
             base: 0,
             wheel_len: 0,
@@ -234,22 +246,20 @@ impl<T: Copy> CalendarQueue<T> {
                 }
             }
             let b_min = self.first_occupied_from_base();
-            if b_min > self.base {
-                if b_min > bucket_of(t_end) {
-                    // The earliest event is beyond the horizon. Advance the
-                    // window only to t_end's bucket: the caller will set
-                    // `now = t_end`, so later pushes stay inside the window.
-                    self.base = self.base.max(bucket_of(t_end));
-                    return None;
-                }
-                // Advance, then loop: the newly opened window may make more
-                // far-heap events eligible, and they could precede b_min's.
-                self.base = b_min;
-                continue;
+            if b_min > bucket_of(t_end) {
+                // The earliest event is beyond the horizon. Advance the
+                // window only to t_end's bucket: the caller will set
+                // `now = t_end`, so later pushes stay inside the window.
+                self.base = self.base.max(bucket_of(t_end));
+                return None;
             }
-            // The global minimum lives in the base bucket: the wheel's
-            // earliest bucket is this one, and every far event is at least
-            // BUCKETS ahead of base.
+            // The global minimum lives in bucket `b_min`: it is the wheel's
+            // earliest bucket, and no far event can precede it — advancing
+            // the window to it admits only far events in buckets at or past
+            // the *old* horizon, which is past `b_min` (it was inside the
+            // old window). They are picked up by the next pop's drain; no
+            // re-drain loop is needed here.
+            self.base = b_min;
             let slot = (self.base & BUCKET_MASK) as usize;
             let bucket = &mut self.buckets[slot];
             let mut mi = 0;

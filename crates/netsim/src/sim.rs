@@ -10,9 +10,18 @@
 //! Pending events live in an [`EventQueue`] — by default the two-level
 //! calendar queue ([`EngineKind::Calendar`]), with the reference binary heap
 //! ([`EngineKind::Heap`]) selectable via [`Sim::with_engine`] for
-//! differential testing. Events are tiny `Copy` payloads: arrival events
-//! carry a `u32` handle into a packet slab ([`crate::slab::PacketSlab`])
-//! rather than the packet itself.
+//! differential testing. Events are tiny `Copy` payloads.
+//!
+//! # Coalesced link delivery
+//!
+//! Packet transits are *not* events. Each [`Link`] keeps its own in-flight
+//! ring (queued packets plus packets on the wire, arrival-stamped and
+//! monotone); the engine holds a single tracked `LinkDeliver` event per link
+//! aimed at the wire head and advances the link lazily on every touch. One
+//! event then delivers every packet due at that instant, instead of the
+//! classic two events (`LinkTxDone` + `Arrival`) per transit. Packet-transit
+//! throughput is counted separately ([`SimCounters::transits`]) so
+//! events/sec comparisons across engine generations stay honest.
 //!
 //! # Timers
 //!
@@ -22,6 +31,13 @@
 //! event pops, it is re-queued at the new deadline (a *deferral*) or
 //! discarded (a *stale pop*) — instead of pushing one event per restart and
 //! letting generation-dead entries pile up in the queue.
+//!
+//! # Tracing
+//!
+//! The event loop is monomorphized over [`RecordMode`]: [`Sim::run_until`]
+//! branches once on whether a tracer is installed, and the untraced
+//! instantiation compiles every tracer hook out of `dispatch`,
+//! `offer_to_link`, and the endpoint flushes.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -31,27 +47,38 @@ use crate::link::{Link, LinkSpec, Offer};
 use crate::node::Node;
 use crate::packet::{AppChunk, FlowId, LinkId, NodeId, Packet, PacketKind};
 use crate::scheduler::{EngineKind, EventQueue};
-use crate::slab::PacketSlab;
 use crate::tcp::{SinkConfig, TcpConfig, TcpSender, TcpSink};
 use crate::telemetry;
 use crate::time::SimTime;
-use crate::trace::SimTracer;
+use crate::trace::{RecordMode, Recorded, SimTracer, Unrecorded};
 
 /// Index of an application in the simulator's arena.
 pub type AppId = u32;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
-    /// A link finished serialising a packet.
-    LinkTxDone(LinkId),
-    /// A packet (held in the slab at `slot`) arrives at a node.
-    Arrival { node: NodeId, slot: u32 },
+    /// The wire head of a link arrives (delivers every packet due at that
+    /// instant; the engine keeps exactly one of these per link).
+    LinkDeliver(LinkId),
     /// A sender's retransmission timer.
     SenderTimer(u32),
     /// A sink's delayed-ACK timer.
     SinkTimer(u32),
     /// An application timer with a user tag.
     AppTimer { app: AppId, tag: u64 },
+}
+
+#[cfg(feature = "profile")]
+impl EventKind {
+    /// Profiler bin, matching `telemetry::profile::KIND_NAMES` order.
+    fn profile_bin(&self) -> usize {
+        match self {
+            EventKind::LinkDeliver(_) => 0,
+            EventKind::SenderTimer(_) => 1,
+            EventKind::SinkTimer(_) => 2,
+            EventKind::AppTimer { .. } => 3,
+        }
+    }
 }
 
 /// One TCP connection: sender and sink endpoints plus app subscriptions.
@@ -80,6 +107,11 @@ pub struct FlowCounters {
 pub struct SimCounters {
     /// Events dispatched (including stale timer pops).
     pub events_processed: u64,
+    /// Packet transits delivered (one per packet per link traversed). With
+    /// coalesced delivery one event can carry several transits, so this is
+    /// the physical-throughput denominator; `events_processed` is the
+    /// scheduler-traffic one.
+    pub transits: u64,
     /// Timer events popped after cancellation or supersession.
     pub stale_timer_pops: u64,
     /// Timer events re-queued because the deadline moved later.
@@ -88,8 +120,8 @@ pub struct SimCounters {
     pub wheel_hwm: u64,
     /// Peak far-heap occupancy (0 for the heap engine).
     pub far_hwm: u64,
-    /// Peak packet-slab occupancy.
-    pub slab_hwm: u64,
+    /// Peak single-link ring occupancy (queued + on-the-wire packets).
+    pub ring_hwm: u64,
     /// Packets dropped by per-link Bernoulli random loss (fault injection).
     pub random_loss_drops: u64,
 }
@@ -100,14 +132,25 @@ enum AppCall {
     TransferComplete(AppId, FlowId),
 }
 
+/// The formatted no-route panic, kept out of the hot routing path so
+/// `route_from` carries no format machinery.
+#[cold]
+#[inline(never)]
+fn no_route_panic(node: NodeId, label: &str, dst: NodeId) -> ! {
+    panic!("no route from node {node} ({label}) to node {dst}")
+}
+
 /// The simulator.
 pub struct Sim {
     now: SimTime,
     events: EventQueue<EventKind>,
     event_seq: u64,
-    pkts: PacketSlab,
     nodes: Vec<Node>,
     links: Vec<Link>,
+    /// Time of the single outstanding delivery event per link (None = no
+    /// event in the queue; the wire must then be empty, except transiently
+    /// inside a delivery dispatch).
+    link_deliver_ev: Vec<Option<SimTime>>,
     senders: Vec<TcpSender>,
     /// Time of the single outstanding timer event per sender (None = no
     /// event in the queue for this endpoint).
@@ -119,13 +162,20 @@ pub struct Sim {
     flow_counters: Vec<FlowCounters>,
     apps: Vec<Option<Box<dyn App>>>,
     pending_calls: Vec<AppCall>,
+    /// Sim-wide RNG for applications (per-link loss uses each link's own
+    /// stream; see [`Link::new`]).
     rng: SmallRng,
+    /// Seed this sim was built with — link streams derive from it.
+    base_seed: u64,
     events_processed: u64,
+    transits: u64,
     stale_timer_pops: u64,
     deferred_timer_pushes: u64,
-    /// Flight recorder (None = tracing off; the hot path pays one
-    /// predictable branch per hook).
+    /// Flight recorder (None = tracing off; the untraced `run_until`
+    /// instantiation compiles every hook out).
     tracer: Option<SimTracer>,
+    #[cfg(feature = "profile")]
+    profile: telemetry::profile::SimProfile,
 }
 
 impl Sim {
@@ -143,9 +193,9 @@ impl Sim {
             now: 0,
             events: EventQueue::new(engine),
             event_seq: 0,
-            pkts: PacketSlab::new(),
             nodes: Vec::new(),
             links: Vec::new(),
+            link_deliver_ev: Vec::new(),
             senders: Vec::new(),
             sender_timer_ev: Vec::new(),
             sinks: Vec::new(),
@@ -155,21 +205,24 @@ impl Sim {
             apps: Vec::new(),
             pending_calls: Vec::new(),
             rng: SmallRng::seed_from_u64(seed),
+            base_seed: seed,
             events_processed: 0,
+            transits: 0,
             stale_timer_pops: 0,
             deferred_timer_pushes: 0,
             tracer: None,
+            #[cfg(feature = "profile")]
+            profile: telemetry::profile::SimProfile::default(),
         }
     }
 
     /// Create a simulator with pre-sized entity arenas: `nodes`, `links`,
     /// and `flows` are expected final counts (flows also size the TCP
-    /// sender/sink arenas and the in-flight packet slab). Sharded fleet
-    /// experiments know their exact topology up front; reserving once here
-    /// means building a shard never reallocates an arena mid-construction
-    /// and the packet slab is warm before the first event fires. Capacity
-    /// is an optimisation only — an under-estimate still grows normally and
-    /// changes no simulation byte.
+    /// sender/sink arenas). Sharded fleet experiments know their exact
+    /// topology up front; reserving once here means building a shard never
+    /// reallocates an arena mid-construction. Capacity is an optimisation
+    /// only — an under-estimate still grows normally and changes no
+    /// simulation byte.
     pub fn with_capacity(
         seed: u64,
         engine: EngineKind,
@@ -180,15 +233,13 @@ impl Sim {
         let mut sim = Self::with_engine(seed, engine);
         sim.nodes.reserve(nodes);
         sim.links.reserve(links);
+        sim.link_deliver_ev.reserve(links);
         sim.flows.reserve(flows);
         sim.flow_counters.reserve(flows);
         sim.senders.reserve(flows);
         sim.sender_timer_ev.reserve(flows);
         sim.sinks.reserve(flows);
         sim.sink_timer_ev.reserve(flows);
-        // Rough in-flight bound: every flow can keep a small burst of data
-        // packets plus ACKs in the air at once.
-        sim.pkts.reserve(flows.saturating_mul(8));
         sim
     }
 
@@ -218,9 +269,16 @@ impl Sim {
     }
 
     /// Add a unidirectional link from `from` to `to`; returns its id. No
-    /// route is installed automatically.
+    /// route is installed automatically. The link's private random stream is
+    /// derived from the sim seed and the link index, so loss-free links
+    /// consume no randomness and lossy links never perturb each other.
     pub fn add_link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) -> LinkId {
-        self.links.push(Link::new(spec, from, to));
+        let index = self.links.len() as u64;
+        let seed = self
+            .base_seed
+            .wrapping_add((index + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.links.push(Link::new(spec, from, to, seed));
+        self.link_deliver_ev.push(None);
         (self.links.len() - 1) as LinkId
     }
 
@@ -263,6 +321,15 @@ impl Sim {
         self.senders.push(TcpSender::new(flow, src, dst, tcp));
         self.sender_timer_ev.push(None);
         self.sinks.push(TcpSink::new(flow, dst, src, sink));
+        // A gap fill can deliver up to a window of buffered segments in one
+        // arrival, and each arrival acks at most once; reserving here (where
+        // the sender's window bound is in scope) keeps sink flushes off the
+        // heap in steady state.
+        {
+            let sk = self.sinks.last_mut().expect("just pushed");
+            sk.delivered.reserve(tcp.max_wnd as usize + 1);
+            sk.outbox.reserve(8);
+        }
         self.sink_timer_ev.push(None);
         self.flows.push(Flow {
             sender: (self.senders.len() - 1) as u32,
@@ -297,6 +364,11 @@ impl Sim {
         self.events_processed
     }
 
+    /// Packet transits delivered so far.
+    pub fn transits(&self) -> u64 {
+        self.transits
+    }
+
     /// Which scheduler implementation this simulation runs on.
     pub fn engine(&self) -> EngineKind {
         self.events.kind()
@@ -307,11 +379,17 @@ impl Sim {
         let hwm = self.events.hwm();
         SimCounters {
             events_processed: self.events_processed,
+            transits: self.transits,
             stale_timer_pops: self.stale_timer_pops,
             deferred_timer_pushes: self.deferred_timer_pushes,
             wheel_hwm: hwm.wheel,
             far_hwm: hwm.far,
-            slab_hwm: self.pkts.hwm() as u64,
+            ring_hwm: self
+                .links
+                .iter()
+                .map(|l| l.stats.peak_ring as u64)
+                .max()
+                .unwrap_or(0),
             random_loss_drops: self.links.iter().map(|l| l.stats.random_dropped).sum(),
         }
     }
@@ -359,32 +437,100 @@ impl Sim {
 
     /// Run the simulation until simulated time `t_end`.
     pub fn run_until(&mut self, t_end: SimTime) {
+        if self.tracer.is_some() {
+            self.run_loop::<Recorded>(t_end);
+        } else {
+            self.run_loop::<Unrecorded>(t_end);
+        }
+    }
+
+    fn run_loop<M: RecordMode>(&mut self, t_end: SimTime) {
         while let Some(ev) = self.events.pop_at_or_before(t_end) {
             debug_assert!(ev.time >= self.now, "time went backwards");
             self.now = ev.time;
             self.events_processed += 1;
-            self.dispatch(ev.time, ev.payload);
-            self.drain_pending();
+            #[cfg(feature = "profile")]
+            {
+                let bin = ev.payload.profile_bin();
+                let t0 = telemetry::profile::timestamp();
+                self.dispatch::<M>(ev.time, ev.payload);
+                self.drain_pending();
+                self.profile
+                    .record(bin, telemetry::profile::timestamp().wrapping_sub(t0));
+            }
+            #[cfg(not(feature = "profile"))]
+            {
+                self.dispatch::<M>(ev.time, ev.payload);
+                self.drain_pending();
+            }
         }
         self.now = t_end;
+        // Settle every link to t_end: packets whose serialisation started by
+        // now depart (bytes_tx, queue samples at their true times), exactly
+        // as the eager per-transit design accounted them. Their arrivals are
+        // provably past t_end — the delivery chain would otherwise have
+        // fired — so no delivery is owed and the tracked events stay valid.
+        for l in 0..self.links.len() {
+            self.advance_link::<M>(l as LinkId);
+        }
     }
 
-    fn dispatch(&mut self, time: SimTime, kind: EventKind) {
-        match kind {
-            EventKind::LinkTxDone(l) => {
-                if let Some(pkt) = self.links[l as usize].tx_done() {
-                    self.start_tx(l, pkt);
-                    // A packet left the queue for the transmitter.
-                    if let Some(tr) = self.tracer.as_mut() {
-                        if tr.link_traced(l) {
-                            tr.link_queue_changed(time, l, self.links[l as usize].queue_len());
-                        }
-                    }
+    /// Advance `l` to the current time, retro-emitting queue-occupancy
+    /// samples at the true departure times when the link is traced.
+    fn advance_link<M: RecordMode>(&mut self, l: LinkId) {
+        let now = self.now;
+        let link = &mut self.links[l as usize];
+        if M::ENABLED {
+            if let Some(tr) = self.tracer.as_mut() {
+                if tr.link_traced(l) {
+                    link.advance(now, |t, q| tr.link_queue_changed(t, l, q));
+                    return;
                 }
             }
-            EventKind::Arrival { node, slot } => {
-                let pkt = self.pkts.take(slot);
-                self.handle_arrival(node, pkt);
+        }
+        link.advance(now, |_, _| {});
+    }
+
+    /// Runtime-dispatched advance for out-of-loop callers (`SimApi` link
+    /// mutation hooks).
+    fn advance_link_dyn(&mut self, l: LinkId) {
+        if self.tracer.is_some() {
+            self.advance_link::<Recorded>(l);
+        } else {
+            self.advance_link::<Unrecorded>(l);
+        }
+    }
+
+    /// Reconcile the link's single tracked delivery event with its wire
+    /// head. Arrival stamps are monotone per link, so an outstanding event
+    /// always targets the head and never goes stale; a push is needed only
+    /// when no event is outstanding.
+    #[inline]
+    fn sync_link_deliver(&mut self, l: LinkId) {
+        if self.link_deliver_ev[l as usize].is_none() {
+            if let Some(at) = self.links[l as usize].next_arrival() {
+                self.schedule(at, EventKind::LinkDeliver(l));
+                self.link_deliver_ev[l as usize] = Some(at);
+            }
+        }
+    }
+
+    fn dispatch<M: RecordMode>(&mut self, time: SimTime, kind: EventKind) {
+        match kind {
+            EventKind::LinkDeliver(l) => {
+                debug_assert_eq!(self.link_deliver_ev[l as usize], Some(time));
+                self.advance_link::<M>(l);
+                // Deliver everything due at this instant. The tracked slot
+                // stays occupied until the loop ends so reentrant offers to
+                // this link (possible through app callbacks) cannot schedule
+                // a duplicate event for a head we are about to pop.
+                while let Some(pkt) = self.links[l as usize].pop_due(time) {
+                    self.transits += 1;
+                    let node = self.links[l as usize].to;
+                    self.handle_arrival::<M>(node, pkt);
+                }
+                self.link_deliver_ev[l as usize] = None;
+                self.sync_link_deliver(l);
             }
             EventKind::SenderTimer(sender) => {
                 let s = sender as usize;
@@ -397,7 +543,7 @@ impl Sim {
                 match self.senders[s].timer_deadline {
                     Some(d) if d == time => {
                         self.senders[s].on_timeout(time);
-                        self.flush_sender(sender);
+                        self.flush_sender::<M>(sender);
                     }
                     Some(d) => {
                         // Deadline moved later (RTO restarted on an ACK):
@@ -420,7 +566,7 @@ impl Sim {
                 match self.sinks[s].timer_deadline {
                     Some(d) if d == time => {
                         self.sinks[s].on_delack_timer();
-                        self.flush_sink(sink);
+                        self.flush_sink::<M>(sink);
                     }
                     Some(d) => {
                         debug_assert!(d > time, "tracked event after its deadline");
@@ -437,48 +583,49 @@ impl Sim {
         }
     }
 
-    fn handle_arrival(&mut self, node: NodeId, pkt: Packet) {
+    fn handle_arrival<M: RecordMode>(&mut self, node: NodeId, pkt: Packet) {
         if pkt.dst != node {
-            self.route_from(node, pkt);
+            self.route_from::<M>(node, pkt);
             return;
         }
         match pkt.kind {
             PacketKind::Data => {
                 let sink_id = self.flows[pkt.flow as usize].sink;
                 self.sinks[sink_id as usize].on_data(&pkt, self.now);
-                self.flush_sink(sink_id);
+                self.flush_sink::<M>(sink_id);
             }
             PacketKind::Ack => {
                 let sender_id = self.flows[pkt.flow as usize].sender;
                 self.senders[sender_id as usize].on_ack(pkt.seq, self.now);
-                self.flush_sender(sender_id);
+                self.flush_sender::<M>(sender_id);
             }
         }
     }
 
-    fn route_from(&mut self, node: NodeId, pkt: Packet) {
+    fn route_from<M: RecordMode>(&mut self, node: NodeId, pkt: Packet) {
         match self.nodes[node as usize].route_to(pkt.dst) {
             Some(l) => {
                 debug_assert_eq!(
                     self.links[l as usize].from, node,
                     "routing table on node {node} points at a foreign link"
                 );
-                self.offer_to_link(l, pkt);
+                self.offer_to_link::<M>(l, pkt);
             }
-            None => panic!(
-                "no route from node {} ({}) to node {}",
-                node, self.nodes[node as usize].label, pkt.dst
-            ),
+            None => no_route_panic(node, &self.nodes[node as usize].label, pkt.dst),
         }
     }
 
-    fn offer_to_link(&mut self, l: LinkId, pkt: Packet) {
-        match self.links[l as usize].offer(pkt, &mut self.rng) {
-            Offer::StartTx(p) => self.start_tx(l, p),
+    fn offer_to_link<M: RecordMode>(&mut self, l: LinkId, pkt: Packet) {
+        self.advance_link::<M>(l);
+        let now = self.now;
+        match self.links[l as usize].offer(now, pkt) {
+            Offer::Started => self.sync_link_deliver(l),
             Offer::Queued => {
-                if let Some(tr) = self.tracer.as_mut() {
-                    if tr.link_traced(l) {
-                        tr.link_queue_changed(self.now, l, self.links[l as usize].queue_len());
+                if M::ENABLED {
+                    if let Some(tr) = self.tracer.as_mut() {
+                        if tr.link_traced(l) {
+                            tr.link_queue_changed(now, l, self.links[l as usize].queue_len());
+                        }
                     }
                 }
             }
@@ -490,16 +637,6 @@ impl Sim {
                 }
             }
         }
-    }
-
-    fn start_tx(&mut self, l: LinkId, pkt: Packet) {
-        let (tx, delay, to) = {
-            let link = &self.links[l as usize];
-            (link.spec.tx_time(pkt.size_bytes), link.spec.delay, link.to)
-        };
-        self.schedule(self.now + tx, EventKind::LinkTxDone(l));
-        let slot = self.pkts.alloc(pkt);
-        self.schedule(self.now + tx + delay, EventKind::Arrival { node: to, slot });
     }
 
     // ------------------------------------------------------------------
@@ -530,20 +667,25 @@ impl Sim {
         }
     }
 
-    fn flush_sender(&mut self, sender_id: u32) {
+    fn flush_sender<M: RecordMode>(&mut self, sender_id: u32) {
         let s = sender_id as usize;
         let (node, flow) = (self.senders[s].node, self.senders[s].flow);
         // Drain trace marks before routing the outbox: the state transitions
         // they describe logically precede the packets they caused.
-        if !self.senders[s].marks.is_empty() {
-            match self.tracer.as_mut() {
-                Some(tr) => tr.drain_marks(flow, &mut self.senders[s].marks),
-                None => self.senders[s].marks.clear(),
+        if M::ENABLED {
+            if !self.senders[s].marks.is_empty() {
+                match self.tracer.as_mut() {
+                    Some(tr) => tr.drain_marks(flow, &mut self.senders[s].marks),
+                    None => self.senders[s].marks.clear(),
+                }
             }
+        } else {
+            // Untraced instantiation: no tracer, so no sender takes marks.
+            debug_assert!(self.senders[s].marks.is_empty());
         }
         let mut pkts = std::mem::take(&mut self.senders[s].outbox);
         for pkt in pkts.drain(..) {
-            self.route_from(node, pkt);
+            self.route_from::<M>(node, pkt);
         }
         // Nothing below route_from can touch this outbox, so hand the
         // allocation back instead of churning a fresh Vec per flush.
@@ -572,12 +714,22 @@ impl Sim {
         }
     }
 
-    fn flush_sink(&mut self, sink_id: u32) {
+    /// Runtime-dispatched flush for out-of-loop callers (`SimApi` app entry
+    /// points): one branch, then the monomorphized body.
+    fn flush_sender_dyn(&mut self, sender_id: u32) {
+        if self.tracer.is_some() {
+            self.flush_sender::<Recorded>(sender_id);
+        } else {
+            self.flush_sender::<Unrecorded>(sender_id);
+        }
+    }
+
+    fn flush_sink<M: RecordMode>(&mut self, sink_id: u32) {
         let s = sink_id as usize;
         let (node, flow) = (self.sinks[s].node, self.sinks[s].flow);
         let mut pkts = std::mem::take(&mut self.sinks[s].outbox);
         for pkt in pkts.drain(..) {
-            self.route_from(node, pkt);
+            self.route_from::<M>(node, pkt);
         }
         std::mem::swap(&mut self.sinks[s].outbox, &mut pkts);
         debug_assert!(pkts.is_empty());
@@ -630,6 +782,8 @@ impl Sim {
 impl Drop for Sim {
     fn drop(&mut self) {
         telemetry::merge(&self.counters());
+        #[cfg(feature = "profile")]
+        telemetry::profile::merge(&self.profile);
     }
 }
 
@@ -645,7 +799,8 @@ impl SimApi<'_> {
         self.sim.now
     }
 
-    /// Deterministic RNG shared by the whole simulation.
+    /// Deterministic RNG shared by the whole simulation (application use;
+    /// link loss draws come from per-link streams).
     pub fn rng(&mut self) -> &mut SmallRng {
         &mut self.sim.rng
     }
@@ -681,7 +836,7 @@ impl SimApi<'_> {
         let ok = self.sim.senders[sid as usize].push_chunk(chunk);
         if ok {
             self.sim.senders[sid as usize].try_send(now);
-            self.sim.flush_sender(sid);
+            self.sim.flush_sender_dyn(sid);
         }
         ok
     }
@@ -693,7 +848,7 @@ impl SimApi<'_> {
         let now = self.sim.now;
         self.sim.senders[sid as usize].set_backlogged(remaining);
         self.sim.senders[sid as usize].try_send(now);
-        self.sim.flush_sender(sid);
+        self.sim.flush_sender_dyn(sid);
     }
 
     /// Reset `flow`'s congestion state as a fresh connection (HTTP restart).
@@ -738,7 +893,9 @@ impl SimApi<'_> {
     // ------------------------------------------------------------------
     // Link mutation (fault injection / path dynamics). Scheduled from an
     // app timer these become ordinary engine events, so scripted scenarios
-    // stay byte-identical across scheduler implementations.
+    // stay byte-identical across scheduler implementations. Every hook
+    // advances the link to `now` first, so the change applies exactly to
+    // packets that start serialising after this instant.
     // ------------------------------------------------------------------
 
     /// Current spec of `link` (base values for relative scenario factors).
@@ -748,24 +905,28 @@ impl SimApi<'_> {
 
     /// Change `link`'s transmission rate; applies to future transmissions.
     pub fn set_link_rate(&mut self, link: LinkId, bps: f64) {
+        self.sim.advance_link_dyn(link);
         self.sim.links[link as usize].set_bandwidth_bps(bps);
     }
 
     /// Change `link`'s propagation delay; applies to future transmissions.
     pub fn set_link_delay(&mut self, link: LinkId, delay: SimTime) {
+        self.sim.advance_link_dyn(link);
         self.sim.links[link as usize].set_delay(delay);
     }
 
     /// Change `link`'s Bernoulli random-loss probability.
     pub fn set_link_loss(&mut self, link: LinkId, p: f64) {
+        self.sim.advance_link_dyn(link);
         self.sim.links[link as usize].set_random_loss(p);
     }
 
     /// Administratively down `link`: flush its queue (the flushed packets are
     /// charged to their flows' drop counters) and blackhole every packet
-    /// offered until [`SimApi::set_link_up`]. The packet being serialised
-    /// still arrives, as on a real link failure.
+    /// offered until [`SimApi::set_link_up`]. Packets already on the wire
+    /// still arrive, as on a real link failure.
     pub fn set_link_down(&mut self, link: LinkId) {
+        self.sim.advance_link_dyn(link);
         let flushed = self.sim.links[link as usize].set_admin_down(true);
         let emptied = !flushed.is_empty();
         for pkt in flushed {
@@ -787,6 +948,7 @@ impl SimApi<'_> {
 
     /// Bring an administratively-downed `link` back up.
     pub fn set_link_up(&mut self, link: LinkId) {
+        self.sim.advance_link_dyn(link);
         let flushed = self.sim.links[link as usize].set_admin_down(false);
         debug_assert!(flushed.is_empty());
     }
@@ -917,7 +1079,7 @@ mod tests {
         );
     }
 
-    /// A lossy two-host topology that actually consumes the simulator RNG
+    /// A lossy two-host topology that actually consumes link RNG streams
     /// (Bernoulli link loss), so outcomes are a function of the seed.
     fn lossy_run(seed: u64) -> (u64, u64, u64) {
         let mut sim = Sim::new(seed);
@@ -945,10 +1107,10 @@ mod tests {
 
     #[test]
     fn different_seeds_diverge() {
-        // With Bernoulli loss on the link, the RNG provably shapes the run:
-        // different seeds must produce different loss patterns and event
-        // counts. (Identical triples across 1→2 would mean the seed is not
-        // wired through.)
+        // With Bernoulli loss on the link, the per-link RNG streams provably
+        // shape the run: different seeds must produce different loss
+        // patterns and event counts. (Identical triples across 1→2 would
+        // mean the seed is not wired through to the links.)
         assert_ne!(lossy_run(1), lossy_run(2));
     }
 
@@ -971,6 +1133,7 @@ mod tests {
                 sim.sender(flow).stats.timeouts,
                 sim.flow_counters(flow).data_dropped,
                 sim.events_processed(),
+                sim.transits(),
             )
         };
         assert_eq!(run(EngineKind::Heap), run(EngineKind::Calendar));
@@ -1007,6 +1170,24 @@ mod tests {
         let (without, with) = (run(false), run(true));
         assert_eq!(without, with);
         assert_eq!(with.4, 0, "p = 0 must never drop");
+    }
+
+    #[test]
+    fn delivery_events_are_coalesced() {
+        // The classic pipeline spent two events per transit (tx-done +
+        // arrival); coalesced delivery must spend strictly less per transit,
+        // even counting every timer event in the run.
+        let (mut sim, flow) = two_host_sim(10.0, 10.0, 100);
+        sim.add_app(Box::new(FtpStarter { flow }));
+        sim.run_until(10 * SECOND);
+        let c = sim.counters();
+        assert!(c.transits > 8_000, "transits {}", c.transits);
+        assert!(
+            c.events_processed < 2 * c.transits,
+            "no coalescing win: {} events for {} transits",
+            c.events_processed,
+            c.transits
+        );
     }
 
     #[test]
@@ -1115,6 +1296,7 @@ mod tests {
                 sim.sender(flow).stats.timeouts,
                 sim.flow_counters(flow).data_dropped,
                 sim.events_processed(),
+                sim.transits(),
             );
             drop(sim); // release the tracer's recorder handle
             let text = rec.map(|rec| {
@@ -1149,7 +1331,8 @@ mod tests {
         let c = sim.counters();
         assert_eq!(c.events_processed, sim.events_processed());
         assert!(c.wheel_hwm > 0);
-        assert!(c.slab_hwm > 0);
+        assert!(c.ring_hwm > 0);
+        assert!(c.transits > 0);
         // A lossy Reno flow restarts its RTO on every ACK; lazy timers must
         // turn those into deferrals/stale pops instead of queued events. The
         // queue HWM staying near the pipe size (not the ACK count) is the

@@ -176,7 +176,9 @@ impl TcpSender {
             inflight: SeqRing::new(),
             rtt: RttEstimator::default(),
             stats: SenderStats::default(),
-            outbox: Vec::new(),
+            // One flush routes at most a window's worth of segments, so
+            // reserving up front keeps the steady-state loop off the heap.
+            outbox: Vec::with_capacity(cfg.max_wnd as usize + 1),
             timer_deadline: None,
             timer_dirty: false,
             wake_app: false,

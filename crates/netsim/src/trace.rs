@@ -22,6 +22,34 @@ use obs::{EventKind, Recorder};
 use crate::packet::{FlowId, LinkId};
 use crate::time::SimTime;
 
+/// Compile-time recording mode: the engine's dispatch loop is monomorphized
+/// over this marker so an untraced run carries *zero* tracer branches on the
+/// hot path — "zero-cost-when-off" is literal, not a predictable-branch
+/// euphemism. [`crate::Sim::run_until`] branches once per call on whether a
+/// tracer is installed and enters the [`Recorded`] or [`Unrecorded`]
+/// instantiation of the whole event loop.
+pub trait RecordMode {
+    /// Whether tracer hooks are compiled into this instantiation.
+    const ENABLED: bool;
+}
+
+/// Recording instantiation: tracer hooks compiled in (each still checks the
+/// runtime `Option` — a sim without a tracer behaves identically here).
+#[derive(Debug, Clone, Copy)]
+pub struct Recorded;
+
+/// Non-recording instantiation: tracer hooks compiled out entirely.
+#[derive(Debug, Clone, Copy)]
+pub struct Unrecorded;
+
+impl RecordMode for Recorded {
+    const ENABLED: bool = true;
+}
+
+impl RecordMode for Unrecorded {
+    const ENABLED: bool = false;
+}
+
 /// A deferred trace note a [`crate::tcp::TcpSender`] takes while handling an
 /// ACK or timeout; the engine drains these into the recorder when it flushes
 /// the sender (the sender itself has no recorder handle).
