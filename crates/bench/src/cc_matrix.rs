@@ -1,0 +1,406 @@
+//! Extension: the (congestion control × pull strategy) **headroom matrix**.
+//!
+//! The paper's Section 7.3 safety rule says live multipath streaming works
+//! when the paths' aggregate achievable TCP rate σ_a exceeds the video rate
+//! µ by a comfortable multiple. That rule was derived for Reno and the
+//! paper's round-robin pull. This target measures how the required multiple
+//! moves when either axis changes:
+//!
+//! 1. For each congestion-control algorithm, a **saturation probe**
+//!    ([`dmp_sim::probe`]) measures σ_a empirically on the study setting —
+//!    the same experiment with the video source outrunning the network.
+//! 2. For each (cc, strategy) cell, the video is streamed at µ = σ_a/m for
+//!    ascending multiples `m`; the cell's **headroom** is the smallest `m`
+//!    whose mean playback-order late fraction stays under
+//!    [`LATE_BUDGET`]. Cells that fail the whole grid report `null`
+//!    (headroom beyond the largest multiple tried — e.g. redundant
+//!    duplication burns roughly half the aggregate rate on copies).
+//!
+//! Every simulation of the matrix runs under **both** engines and the cell
+//! records that they agreed bit-for-bit, exactly like the scenario
+//! extensions. The artifact is deterministic: byte-identical across engines
+//! (by construction), runner thread counts, and cache states.
+
+use cc::CcKind;
+use dmp_core::spec::{PullStrategy, SchedulerKind};
+use dmp_runner::{Json, Runner};
+use dmp_sim::experiment::{batch_jobs, ExperimentSpec, RunSummary};
+use dmp_sim::probe::{saturation_jobs, SaturationReport};
+use dmp_sim::setting;
+use netsim::EngineKind;
+
+use crate::report::{frac, Table};
+use crate::scale::Scale;
+use crate::target::TargetReport;
+
+/// Startup delay τ the late fractions are evaluated at, seconds.
+pub const TAU_S: f64 = 4.0;
+/// A cell passes a multiple when its mean playback-order late fraction is
+/// below this (the "<1 % late frames" criterion).
+pub const LATE_BUDGET: f64 = 0.01;
+/// Ascending grid of σ_a/µ multiples searched for each cell's headroom.
+pub const MULTIPLES: [f64; 5] = [1.2, 1.4, 1.6, 1.8, 2.2];
+/// The study setting: the homogeneous Config-2 pair used throughout the
+/// scenario extensions.
+pub const SETTING: &str = "2-2";
+
+/// Matrix dimensions and per-run scale, derived from a [`Scale`] (or
+/// reduced for the smoke gate).
+#[derive(Debug, Clone)]
+pub struct MatrixOptions {
+    /// σ_a/µ multiples tried, ascending.
+    pub multiples: Vec<f64>,
+    /// Replications per (cc, strategy, multiple, engine).
+    pub runs: usize,
+    /// Video duration per run, seconds.
+    pub duration_s: f64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl MatrixOptions {
+    /// The target's options at a given scale.
+    pub fn from_scale(scale: &Scale) -> Self {
+        Self {
+            multiples: MULTIPLES.to_vec(),
+            runs: scale.sim_runs,
+            duration_s: scale.sim_duration_s,
+            seed: scale.seed,
+        }
+    }
+
+    /// Reduced grid for the CI smoke gate: one multiple, one replication,
+    /// short runs — enough to exercise every cell and the engine
+    /// differential without re-deriving the committed headrooms.
+    pub fn smoke() -> Self {
+        Self {
+            multiples: vec![1.6],
+            runs: 1,
+            duration_s: 60.0,
+            seed: 2007,
+        }
+    }
+}
+
+/// One (cc, strategy) cell of the matrix.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Congestion-control algorithm of the cell.
+    pub cc: CcKind,
+    /// Pull strategy of the cell.
+    pub strategy: PullStrategy,
+    /// Measured aggregate saturation rate σ_a for this cc, packets/second
+    /// (probed once per cc, round-robin pull).
+    pub sigma_pps: f64,
+    /// Smallest multiple in the grid meeting the late budget, if any.
+    pub headroom: Option<f64>,
+    /// `(multiple, mean playback late fraction)` for every multiple tried
+    /// (the ascending search stops at the first pass).
+    pub tried: Vec<(f64, f64)>,
+    /// Every simulation of this cell (probe included) produced
+    /// byte-identical summaries under the heap and calendar engines.
+    pub engines_agree: bool,
+}
+
+impl CellOutcome {
+    /// Mean late fraction at the headroom multiple (the last one tried,
+    /// when the search succeeded).
+    pub fn late_at_headroom(&self) -> Option<f64> {
+        self.headroom.and_then(|_| self.tried.last()).map(|t| t.1)
+    }
+
+    /// The cell's deterministic JSON node (one entry of the artifact's
+    /// `cells` array — what the smoke gate byte-compares).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("cc", Json::Str(self.cc.name().to_string())),
+            ("strategy", Json::Str(self.strategy.name().to_string())),
+            ("sigma_pps", Json::Num(self.sigma_pps)),
+            ("headroom", self.headroom.map_or(Json::Null, Json::Num)),
+            (
+                "tried",
+                Json::Arr(
+                    self.tried
+                        .iter()
+                        .map(|&(m, late)| {
+                            Json::obj([("multiple", Json::Num(m)), ("late", Json::Num(late))])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("engines_agree", Json::Bool(self.engines_agree)),
+        ])
+    }
+}
+
+/// The whole matrix plus the per-cc probes behind it.
+#[derive(Debug, Clone)]
+pub struct MatrixOutcome {
+    /// `(cc, σ_a pps, probe engines agreed)` per congestion control.
+    pub probes: Vec<(CcKind, f64, bool)>,
+    /// Cells in cc-major, strategy-minor order.
+    pub cells: Vec<CellOutcome>,
+    /// Options the matrix was computed with.
+    pub options: MatrixOptions,
+}
+
+impl MatrixOutcome {
+    /// The deterministic artifact payload.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("setting", Json::Str(SETTING.to_string())),
+            ("tau_s", Json::Num(TAU_S)),
+            ("late_budget", Json::Num(LATE_BUDGET)),
+            (
+                "multiples",
+                Json::Arr(
+                    self.options
+                        .multiples
+                        .iter()
+                        .map(|&m| Json::Num(m))
+                        .collect(),
+                ),
+            ),
+            ("runs", Json::Num(self.options.runs as f64)),
+            ("duration_s", Json::Num(self.options.duration_s)),
+            ("seed", Json::Num(self.options.seed as f64)),
+            (
+                "probes",
+                Json::Arr(
+                    self.probes
+                        .iter()
+                        .map(|(kind, sigma, agree)| {
+                            Json::obj([
+                                ("cc", Json::Str(kind.name().to_string())),
+                                ("sigma_pps", Json::Num(*sigma)),
+                                ("engines_agree", Json::Bool(*agree)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "cells",
+                Json::Arr(self.cells.iter().map(CellOutcome::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// All probes and all cells agreed across both engines.
+    pub fn all_engines_agree(&self) -> bool {
+        self.probes.iter().all(|&(_, _, agree)| agree) && self.cells.iter().all(|c| c.engines_agree)
+    }
+}
+
+/// The base streaming spec of the matrix: the study setting under the
+/// dynamic (DMP) scheduler at the given cell coordinates and engine.
+fn cell_spec(
+    kind: CcKind,
+    strategy: PullStrategy,
+    engine: EngineKind,
+    opts: &MatrixOptions,
+) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::new(
+        *setting(SETTING).expect("built-in"),
+        SchedulerKind::Dynamic,
+        opts.duration_s,
+        opts.seed,
+    );
+    spec.warmup_s = 10.0;
+    spec.cc = kind;
+    spec.strategy = strategy;
+    spec.engine = engine;
+    spec
+}
+
+/// Run `runs` replications of `spec` under both engines; returns the
+/// calendar summaries and whether the heap run agreed byte-for-byte.
+fn run_both_engines(
+    runner: &Runner,
+    spec: &ExperimentSpec,
+    runs: usize,
+) -> (Vec<RunSummary>, bool) {
+    let mut jobs = Vec::new();
+    for engine in [EngineKind::Calendar, EngineKind::Heap] {
+        let mut s = spec.clone();
+        s.engine = engine;
+        jobs.extend(batch_jobs(&s, runs, &[TAU_S]));
+    }
+    let cells = runner.run_all(jobs);
+    let take = |eng: usize| -> Vec<RunSummary> {
+        (0..runs)
+            .map(|i| {
+                let c = &cells[eng * runs + i];
+                c.ok()
+                    .unwrap_or_else(|| panic!("{} failed: {:?}", c.label, c.failure()))
+                    .clone()
+            })
+            .collect()
+    };
+    let calendar = take(0);
+    let heap = take(1);
+    let agree = calendar
+        .iter()
+        .zip(&heap)
+        .all(|(a, b)| format!("{a:?}") == format!("{b:?}"));
+    (calendar, agree)
+}
+
+/// Probe σ_a for one congestion control (round-robin pull — the multiples
+/// are defined against the baseline striping). Returns `(σ_a, engines
+/// agree)`; σ_a comes from the calendar run.
+fn probe_sigma(runner: &Runner, kind: CcKind, opts: &MatrixOptions) -> (f64, bool) {
+    let mut reports = Vec::new();
+    for engine in [EngineKind::Calendar, EngineKind::Heap] {
+        let spec = cell_spec(kind, PullStrategy::RoundRobin, engine, opts);
+        let cells = runner.run_all(saturation_jobs(&spec, 1));
+        let r: &SaturationReport = cells[0]
+            .ok()
+            .unwrap_or_else(|| panic!("{} failed: {:?}", cells[0].label, cells[0].failure()));
+        reports.push(r.clone());
+    }
+    let agree = format!("{:?}", reports[0]) == format!("{:?}", reports[1]);
+    (reports[0].aggregate_pps, agree)
+}
+
+/// Mean playback-order late fraction at [`TAU_S`] over a batch.
+fn mean_late(runs: &[RunSummary]) -> f64 {
+    runs.iter()
+        .map(|r| r.per_tau[0].playback_order)
+        .sum::<f64>()
+        / runs.len() as f64
+}
+
+/// Video rate for one multiple: µ = σ_a/m, rounded to 0.01 pps so the cache
+/// key stays readable and exactly reproducible.
+fn rate_for(sigma_pps: f64, multiple: f64) -> f64 {
+    (sigma_pps / multiple * 100.0).round() / 100.0
+}
+
+/// Ascending headroom search for one cell given its cc's probed σ_a.
+fn cell_outcome(
+    runner: &Runner,
+    kind: CcKind,
+    strategy: PullStrategy,
+    sigma_pps: f64,
+    probe_agree: bool,
+    opts: &MatrixOptions,
+) -> CellOutcome {
+    let mut tried = Vec::new();
+    let mut headroom = None;
+    let mut engines_agree = probe_agree;
+    for &m in &opts.multiples {
+        let mut spec = cell_spec(kind, strategy, EngineKind::Calendar, opts);
+        spec.setting.video.rate_pps = rate_for(sigma_pps, m);
+        let (runs, agree) = run_both_engines(runner, &spec, opts.runs);
+        engines_agree &= agree;
+        let late = mean_late(&runs);
+        tried.push((m, late));
+        if late < LATE_BUDGET {
+            headroom = Some(m);
+            break;
+        }
+    }
+    CellOutcome {
+        cc: kind,
+        strategy,
+        sigma_pps,
+        headroom,
+        tried,
+        engines_agree,
+    }
+}
+
+/// Compute a single (cc, strategy) cell — probe included. The smoke gate
+/// uses this to re-derive the committed baseline cell without paying for
+/// the whole matrix.
+pub fn compute_matrix_cell(
+    runner: &Runner,
+    kind: CcKind,
+    strategy: PullStrategy,
+    opts: &MatrixOptions,
+) -> CellOutcome {
+    let (sigma_pps, probe_agree) = probe_sigma(runner, kind, opts);
+    cell_outcome(runner, kind, strategy, sigma_pps, probe_agree, opts)
+}
+
+/// Compute the full matrix on a runner.
+pub fn compute_matrix(runner: &Runner, opts: &MatrixOptions) -> MatrixOutcome {
+    let mut probes = Vec::new();
+    let mut cells = Vec::new();
+    for kind in CcKind::all() {
+        let (sigma_pps, probe_agree) = probe_sigma(runner, kind, opts);
+        probes.push((kind, sigma_pps, probe_agree));
+        for strategy in PullStrategy::all() {
+            cells.push(cell_outcome(
+                runner,
+                kind,
+                strategy,
+                sigma_pps,
+                probe_agree,
+                opts,
+            ));
+        }
+    }
+    MatrixOutcome {
+        probes,
+        cells,
+        options: opts.clone(),
+    }
+}
+
+/// Render the matrix as the target's text table.
+pub fn render_matrix(out: &MatrixOutcome) -> String {
+    let mut t = Table::new(
+        format!(
+            "ext_cc_matrix: headroom multiple (σ_a/µ for <{:.0} % late, τ = {TAU_S} s) \
+             on Setting {SETTING}",
+            LATE_BUDGET * 100.0
+        ),
+        &[
+            "cc",
+            "strategy",
+            "σ_a (pkt/s)",
+            "headroom",
+            "late @ headroom",
+            "engines agree",
+        ],
+    );
+    for c in &out.cells {
+        t.row(vec![
+            c.cc.name().to_string(),
+            c.strategy.name().to_string(),
+            format!("{:.1}", c.sigma_pps),
+            c.headroom.map_or_else(
+                || {
+                    format!(
+                        "> {:.1}",
+                        out.options.multiples.last().copied().unwrap_or(f64::NAN)
+                    )
+                },
+                |m| format!("{m:.1}"),
+            ),
+            c.late_at_headroom().map_or_else(|| "—".to_string(), frac),
+            if c.engines_agree { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// The `ext_cc_matrix` extension target.
+pub fn ext_cc_matrix(runner: &Runner, scale: &Scale) -> TargetReport {
+    let opts = MatrixOptions::from_scale(scale);
+    let out = compute_matrix(runner, &opts);
+    let cells_json = out.to_json();
+    TargetReport::new(render_matrix(&out), cells_json).with_meta(
+        "matrix",
+        Json::obj([
+            ("cc_count", Json::Num(out.probes.len() as f64)),
+            (
+                "strategy_count",
+                Json::Num(PullStrategy::all().len() as f64),
+            ),
+            ("all_engines_agree", Json::Bool(out.all_engines_agree())),
+        ]),
+    )
+}

@@ -80,6 +80,7 @@ pub fn extension_targets() -> Vec<(&'static str, TargetFn)> {
         ("ext_flashcrowd", crate::scenarios::ext_flashcrowd),
         ("ext_fleet", crate::fleet::ext_fleet),
         ("fleet_headroom", crate::fleet::fleet_headroom),
+        ("ext_cc_matrix", crate::cc_matrix::ext_cc_matrix),
     ]
 }
 

@@ -132,14 +132,31 @@ pub fn render_report(trace: &Trace, opts: &ReportOptions) -> String {
         trace.events.len(),
         trace.duration_s()
     ));
+    let algos = trace.cc_algo_map();
+    let algo_of = |conn: u32| -> &str {
+        algos
+            .iter()
+            .find(|(c, _)| *c == conn)
+            .map_or("?", |(_, a)| a.as_str())
+    };
     for (path, conn) in trace.path_conn_map() {
-        out.push_str(&format!("  path {path} <-> conn {conn}\n"));
+        if algos.is_empty() {
+            out.push_str(&format!("  path {path} <-> conn {conn}\n"));
+        } else {
+            out.push_str(&format!(
+                "  path {path} <-> conn {conn} ({})\n",
+                algo_of(conn)
+            ));
+        }
+    }
+    if let Some(strategy) = trace.strategy() {
+        out.push_str(&format!("  pull strategy: {strategy}\n"));
     }
 
     // Cwnd evolution: per-connection summary plus a sampled timeline.
     let mut cwnd = Table::new(
         "cwnd evolution (sampled; full series in the trace)",
-        &["conn", "t (s)", "cwnd", "ssthresh"],
+        &["conn", "algo", "t (s)", "cwnd", "ssthresh"],
     );
     let mut recovery = Table::new(
         "TCP recovery activity per connection",
@@ -157,6 +174,7 @@ pub fn render_report(trace: &Trace, opts: &ReportOptions) -> String {
         for (t, w, ss) in downsample(&series, 8) {
             cwnd.row(vec![
                 conn.to_string(),
+                algo_of(conn).to_string(),
                 format!("{t:.3}"),
                 format!("{w:.2}"),
                 format!("{ss:.1}"),

@@ -47,3 +47,43 @@ fn scenario_changes_the_cache_key_and_noop_does_not_collide() {
         assert!(!crowd.contains(f), "failover and flash-crowd keys collide");
     }
 }
+
+#[test]
+fn cc_and_strategy_pairs_never_collide_in_cache_keys() {
+    use dmp_core::spec::{PullStrategy, SchedulerKind};
+    use dmp_sim::experiment::{batch_jobs, ExperimentSpec};
+    use dmp_sim::setting;
+
+    // Every (cc, strategy) pair of the headroom matrix must map to a unique
+    // cache key — a collision would let CUBIC runs be served Reno summaries
+    // (or best-path runs round-robin ones) and silently corrupt the matrix.
+    let mut keys = Vec::new();
+    for kind in cc::CcKind::all() {
+        for strategy in PullStrategy::all() {
+            let mut spec =
+                ExperimentSpec::new(*setting("2-2").unwrap(), SchedulerKind::Dynamic, 60.0, 2007);
+            spec.cc = kind;
+            spec.strategy = strategy;
+            let job = &batch_jobs(&spec, 1, &[4.0])[0];
+            assert!(
+                job.config_repr.starts_with("dmp-sim/v7/"),
+                "cache key is not on the v7 repr: {}",
+                job.config_repr
+            );
+            keys.push(job.config_repr.clone());
+        }
+    }
+    assert_eq!(keys.len(), 15);
+    for (i, a) in keys.iter().enumerate() {
+        for b in &keys[i + 1..] {
+            assert_ne!(a, b, "two (cc, strategy) pairs share a cache key");
+        }
+    }
+
+    // The saturation probe namespace must stay disjoint from streaming
+    // summaries of the identical spec.
+    let spec = ExperimentSpec::new(*setting("2-2").unwrap(), SchedulerKind::Dynamic, 60.0, 2007);
+    let probe = &dmp_sim::probe::saturation_jobs(&spec, 1)[0];
+    assert!(probe.config_repr.starts_with("dmp-sim-sat/v1/"));
+    assert!(!keys.contains(&probe.config_repr));
+}

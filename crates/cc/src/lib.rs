@@ -1,0 +1,921 @@
+//! Deterministic pluggable congestion control for the netsim TCP sender.
+//!
+//! The paper's results are derived entirely under Reno; this crate lifts the
+//! loss-response/growth logic that used to be hard-coded in
+//! `netsim::tcp::sender` behind the [`CcAlgo`] trait so the same sender can
+//! run [`Reno`] (byte-identical to the historical implementation), [`Cubic`]
+//! (RFC 8312 window curve with the TCP-friendly region) or [`BbrLite`] (a
+//! simplified model-based controller: windowed max delivery-rate and min-RTT
+//! filters driving a startup/drain/probe gain cycle).
+//!
+//! Everything here is pure arithmetic over `u64` nanoseconds and `f64`
+//! segment counts — no clocks, no randomness, no allocation — so a given
+//! sequence of [`AckCtx`] inputs always produces the same window trajectory
+//! regardless of engine kind or host. The sender owns all loss *detection*
+//! (dupack counting, RTO timers, NewReno partial-ACK bookkeeping) and calls
+//! the trait hooks at the exact points the old inline Reno code mutated
+//! `cwnd`/`ssthresh`; the algorithms own only the *response*.
+
+/// Which congestion-control algorithm a sender runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CcKind {
+    /// Classic Reno/NewReno response: the paper baseline. Byte-identical to
+    /// the pre-refactor hard-coded sender arithmetic.
+    #[default]
+    Reno,
+    /// CUBIC (RFC 8312): cubic window curve around the last loss epoch with
+    /// the TCP-friendly (Reno-tracking) lower region.
+    Cubic,
+    /// Simplified BBR: delivery-rate and min-RTT filters sizing the window
+    /// to a gain multiple of the estimated BDP; loss-agnostic except for RTO.
+    BbrLite,
+}
+
+impl CcKind {
+    /// Stable lowercase name used in trace events and artifact keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            CcKind::Reno => "reno",
+            CcKind::Cubic => "cubic",
+            CcKind::BbrLite => "bbr-lite",
+        }
+    }
+
+    /// Every algorithm, in canonical sweep order.
+    pub fn all() -> [CcKind; 3] {
+        [CcKind::Reno, CcKind::Cubic, CcKind::BbrLite]
+    }
+}
+
+/// Static window bounds shared by every algorithm (mirrors the sender's
+/// `initial_cwnd`/`max_wnd` tunables).
+#[derive(Debug, Clone, Copy)]
+pub struct CcConfig {
+    /// Initial congestion window, segments.
+    pub initial_cwnd: f64,
+    /// Maximum window (receiver's advertised window stand-in), segments.
+    pub max_wnd: f64,
+}
+
+/// Per-event context handed to the hooks: everything an algorithm may read,
+/// gathered by the sender *before* it mutates its own connection state.
+#[derive(Debug, Clone, Copy)]
+pub struct AckCtx {
+    /// Simulation time of the event, nanoseconds.
+    pub now_ns: u64,
+    /// Segments newly cumulatively acknowledged by this ACK (0 on loss/RTO).
+    pub newly_acked: u64,
+    /// Karn-valid RTT sample carried by this ACK, seconds, if any.
+    pub rtt_sample_s: Option<f64>,
+    /// Current smoothed RTT, seconds (None before the first sample).
+    pub srtt_s: Option<f64>,
+    /// Segments in flight when the event arrived (before this ACK advanced
+    /// the window).
+    pub inflight: u64,
+    /// RFC 2861 congestion-window validation: true when the flow had enough
+    /// data (in flight + queued) to fill the window, i.e. the window — not
+    /// the application — was the limit. Algorithms must not grow on
+    /// application-limited ACKs.
+    pub cwnd_limited: bool,
+}
+
+/// A deterministic congestion-control algorithm.
+///
+/// The sender calls exactly one hook per protocol event; `cwnd()` after the
+/// call is the new window. Hooks not meaningful for an algorithm are no-ops
+/// (e.g. [`BbrLite`] ignores dupack inflation).
+pub trait CcAlgo {
+    /// Which algorithm this is.
+    fn kind(&self) -> CcKind;
+    /// Current congestion window, segments (fractional).
+    fn cwnd(&self) -> f64;
+    /// Current slow-start threshold, segments (reported in trace marks).
+    fn ssthresh(&self) -> f64;
+    /// A new cumulative ACK arrived outside recovery: grow the window.
+    fn on_ack(&mut self, ctx: &AckCtx);
+    /// Third duplicate ACK: loss detected, entering fast recovery.
+    fn on_dupack_loss(&mut self);
+    /// Further duplicate ACK while in recovery (Reno window inflation).
+    fn on_dupack_inflate(&mut self);
+    /// NewReno partial ACK while in recovery: deflate by the amount acked.
+    fn on_partial_ack(&mut self, newly_acked: u64);
+    /// Recovery ended on a full ACK: deflate to the post-recovery window.
+    fn on_exit_recovery(&mut self);
+    /// Retransmission timeout fired.
+    fn on_rto(&mut self);
+    /// Window the sender may keep in flight right now. Defaults to
+    /// [`CcAlgo::cwnd`]; an algorithm could pace below its cwnd here.
+    fn pacing_window(&self) -> f64 {
+        self.cwnd()
+    }
+    /// Reset to the initial state (fresh connection for a new transfer).
+    fn reset(&mut self);
+}
+
+// ---------------------------------------------------------------------------
+// Reno
+// ---------------------------------------------------------------------------
+
+/// Classic Reno response, byte-identical to the arithmetic that used to live
+/// inline in the netsim sender: slow start +1/ACK, congestion avoidance
+/// +1/cwnd, halving (floor 2) on loss, `ssthresh + 3` on recovery entry,
+/// window of 1 after RTO.
+#[derive(Debug, Clone, Copy)]
+pub struct Reno {
+    cfg: CcConfig,
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl Reno {
+    /// A fresh Reno controller.
+    pub fn new(cfg: CcConfig) -> Self {
+        Self {
+            cfg,
+            cwnd: cfg.initial_cwnd,
+            ssthresh: cfg.max_wnd,
+        }
+    }
+}
+
+impl CcAlgo for Reno {
+    fn kind(&self) -> CcKind {
+        CcKind::Reno
+    }
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+    fn on_ack(&mut self, ctx: &AckCtx) {
+        if !ctx.cwnd_limited {
+            return;
+        }
+        if self.cwnd < self.ssthresh {
+            // Slow start: +1 per ACK received (delayed ACKs halve the rate,
+            // as in real stacks without ABC).
+            self.cwnd = (self.cwnd + 1.0).min(self.cfg.max_wnd);
+        } else {
+            // Congestion avoidance: +1/cwnd per ACK.
+            self.cwnd = (self.cwnd + 1.0 / self.cwnd).min(self.cfg.max_wnd);
+        }
+    }
+    fn on_dupack_loss(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = self.ssthresh + 3.0;
+    }
+    fn on_dupack_inflate(&mut self) {
+        // Window inflation lets new data out during recovery.
+        self.cwnd = (self.cwnd + 1.0).min(self.cfg.max_wnd + 3.0);
+    }
+    fn on_partial_ack(&mut self, newly_acked: u64) {
+        self.cwnd = (self.cwnd - newly_acked as f64 + 1.0).max(1.0);
+    }
+    fn on_exit_recovery(&mut self) {
+        self.cwnd = self.ssthresh.max(1.0);
+    }
+    fn on_rto(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = 1.0;
+    }
+    fn reset(&mut self) {
+        self.cwnd = self.cfg.initial_cwnd;
+        self.ssthresh = self.cfg.max_wnd;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CUBIC
+// ---------------------------------------------------------------------------
+
+/// RFC 8312 scaling constant C.
+pub const CUBIC_C: f64 = 0.4;
+/// RFC 8312 multiplicative decrease factor β.
+pub const CUBIC_BETA: f64 = 0.7;
+/// RTT assumed before the first sample (only affects the first epoch).
+const CUBIC_DEFAULT_RTT_S: f64 = 0.1;
+
+/// CUBIC (RFC 8312): after a loss the window follows the cubic curve
+/// `W(t) = C·(t − K)³ + W_max` anchored at the pre-loss window `W_max`,
+/// concave up to the plateau and convex (probing) beyond it, with the
+/// TCP-friendly region as a lower bound so short-RTT flows never do worse
+/// than Reno. Loss-recovery *mechanics* (dupack inflation, partial-ACK
+/// deflation) reuse the Reno plumbing — only growth and decrease differ.
+#[derive(Debug, Clone, Copy)]
+pub struct Cubic {
+    cfg: CcConfig,
+    cwnd: f64,
+    ssthresh: f64,
+    /// Window just before the last decrease (the curve's plateau).
+    w_max: f64,
+    /// Time, seconds, for the curve to return to `w_max`.
+    k: f64,
+    /// Start of the current growth epoch (None until the first post-loss
+    /// congestion-avoidance ACK re-anchors the curve).
+    epoch_start_ns: Option<u64>,
+    /// TCP-friendly Reno estimate for the current epoch.
+    w_est: f64,
+}
+
+impl Cubic {
+    /// A fresh CUBIC controller.
+    pub fn new(cfg: CcConfig) -> Self {
+        Self {
+            cfg,
+            cwnd: cfg.initial_cwnd,
+            ssthresh: cfg.max_wnd,
+            w_max: 0.0,
+            k: 0.0,
+            epoch_start_ns: None,
+            w_est: 0.0,
+        }
+    }
+
+    /// The closed-form curve `W(t) = C·(t − K)³ + W_max` for the current
+    /// epoch (public so tests can compare the trajectory against it).
+    pub fn w_cubic(&self, t_s: f64) -> f64 {
+        CUBIC_C * (t_s - self.k).powi(3) + self.w_max
+    }
+}
+
+impl CcAlgo for Cubic {
+    fn kind(&self) -> CcKind {
+        CcKind::Cubic
+    }
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+    fn on_ack(&mut self, ctx: &AckCtx) {
+        if !ctx.cwnd_limited {
+            return;
+        }
+        if self.cwnd < self.ssthresh {
+            self.cwnd = (self.cwnd + 1.0).min(self.cfg.max_wnd);
+            return;
+        }
+        let rtt_s = ctx.srtt_s.unwrap_or(CUBIC_DEFAULT_RTT_S);
+        let epoch = *self.epoch_start_ns.get_or_insert_with(|| {
+            // First CA ack of the epoch: anchor the curve. If the window
+            // already passed the old plateau, restart the curve from here.
+            if self.w_max > self.cwnd {
+                self.k = ((self.w_max - self.cwnd) / CUBIC_C).cbrt();
+            } else {
+                self.w_max = self.cwnd;
+                self.k = 0.0;
+            }
+            self.w_est = self.cwnd;
+            ctx.now_ns
+        });
+        // Target the curve one RTT ahead (RFC 8312 §4.1: t = elapsed + RTT).
+        let t_s = (ctx.now_ns - epoch) as f64 / 1e9 + rtt_s;
+        let target = self.w_cubic(t_s);
+        // TCP-friendly region: the window Reno would have (aggregated AIMD
+        // rate 3(1−β)/(1+β) per RTT, spread over cwnd ACKs).
+        self.w_est += 3.0 * (1.0 - CUBIC_BETA) / (1.0 + CUBIC_BETA) / self.cwnd;
+        let grown = if target > self.cwnd {
+            self.cwnd + (target - self.cwnd) / self.cwnd
+        } else {
+            // At or past the curve: probe very slowly until it catches up.
+            self.cwnd + 0.01 / self.cwnd
+        };
+        self.cwnd = grown.max(self.w_est).min(self.cfg.max_wnd);
+    }
+    fn on_dupack_loss(&mut self) {
+        // Fast convergence: when the new loss happens below the previous
+        // plateau, the flow is ceding bandwidth — shrink the plateau too.
+        self.w_max = if self.cwnd < self.w_max {
+            self.cwnd * (2.0 - CUBIC_BETA) / 2.0
+        } else {
+            self.cwnd
+        };
+        self.epoch_start_ns = None;
+        self.ssthresh = (self.cwnd * CUBIC_BETA).max(2.0);
+        // `+ 3.0`: same recovery-entry inflation as Reno (the three dupacks
+        // that signalled the loss have left the network).
+        self.cwnd = self.ssthresh + 3.0;
+    }
+    fn on_dupack_inflate(&mut self) {
+        self.cwnd = (self.cwnd + 1.0).min(self.cfg.max_wnd + 3.0);
+    }
+    fn on_partial_ack(&mut self, newly_acked: u64) {
+        self.cwnd = (self.cwnd - newly_acked as f64 + 1.0).max(1.0);
+    }
+    fn on_exit_recovery(&mut self) {
+        self.cwnd = self.ssthresh.max(1.0);
+    }
+    fn on_rto(&mut self) {
+        self.w_max = self.cwnd.max(1.0);
+        self.epoch_start_ns = None;
+        self.ssthresh = (self.cwnd * CUBIC_BETA).max(2.0);
+        self.cwnd = 1.0;
+    }
+    fn reset(&mut self) {
+        *self = Self::new(self.cfg);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BBR-lite
+// ---------------------------------------------------------------------------
+
+/// Windowed-max bottleneck-bandwidth filter horizon, seconds.
+pub const BBR_BW_WINDOW_S: f64 = 10.0;
+/// Min-RTT filter horizon, seconds (RFC-draft BBR uses 10 s).
+pub const BBR_MIN_RTT_WINDOW_S: f64 = 10.0;
+/// Startup window gain (2/ln 2, enough to double delivery rate per round).
+pub const BBR_STARTUP_GAIN: f64 = 2.885;
+/// Steady-state window gain over the estimated BDP.
+pub const BBR_CWND_GAIN: f64 = 2.0;
+/// ProbeBW pacing-gain cycle, applied to the window in this pacing-free
+/// model: one phase per min-RTT, probe up, drain the probe, then cruise.
+pub const BBR_PROBE_CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// Startup exits when the bandwidth filter grew less than 25% for this many
+/// consecutive rounds.
+const BBR_FULL_BW_ROUNDS: u32 = 3;
+/// Floor on the window so the delivery-rate estimator always has samples.
+const BBR_MIN_CWND: f64 = 4.0;
+
+/// The lifecycle phase of a [`BbrLite`] controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BbrPhase {
+    /// Exponential growth until the bandwidth filter plateaus.
+    Startup,
+    /// Let the startup queue drain back to one BDP in flight.
+    Drain,
+    /// Steady state: cycle through [`BBR_PROBE_CYCLE`] gains.
+    ProbeBw(usize),
+}
+
+/// Simplified deterministic BBR: a windowed-max delivery-rate filter and a
+/// windowed-min RTT filter estimate the bottleneck BDP; the congestion
+/// window is a phase-dependent gain multiple of it. There is no pacing in
+/// this segment-clocked model, so the ProbeBW pacing-gain cycle modulates
+/// the window instead. Losses are ignored (no halving); only an RTO
+/// collapses the window, which then refills ACK-clocked to the target.
+#[derive(Debug, Clone, Copy)]
+pub struct BbrLite {
+    cfg: CcConfig,
+    cwnd: f64,
+    ssthresh: f64,
+    phase: BbrPhase,
+    /// Windowed-max delivery rate, segments/second (0 until first sample).
+    btl_bw: f64,
+    btl_bw_at_ns: u64,
+    /// Windowed-min RTT, seconds.
+    min_rtt_s: f64,
+    min_rtt_at_ns: u64,
+    have_rtt: bool,
+    /// Startup plateau detection.
+    full_bw: f64,
+    full_bw_rounds: u32,
+    round_start_ns: u64,
+    /// ProbeBW phase clock.
+    cycle_start_ns: u64,
+    /// Previous ACK arrival, for delivery-rate samples.
+    last_ack_ns: u64,
+    have_ack: bool,
+}
+
+impl BbrLite {
+    /// A fresh BBR-lite controller.
+    pub fn new(cfg: CcConfig) -> Self {
+        Self {
+            cfg,
+            cwnd: cfg.initial_cwnd,
+            ssthresh: cfg.max_wnd,
+            phase: BbrPhase::Startup,
+            btl_bw: 0.0,
+            btl_bw_at_ns: 0,
+            min_rtt_s: 0.0,
+            min_rtt_at_ns: 0,
+            have_rtt: false,
+            full_bw: 0.0,
+            full_bw_rounds: 0,
+            round_start_ns: 0,
+            cycle_start_ns: 0,
+            last_ack_ns: 0,
+            have_ack: false,
+        }
+    }
+
+    /// Current phase (for tests and trace tooling).
+    pub fn phase(&self) -> BbrPhase {
+        self.phase
+    }
+
+    /// Estimated bottleneck bandwidth, segments/second.
+    pub fn btl_bw(&self) -> f64 {
+        self.btl_bw
+    }
+
+    /// Current min-RTT estimate, seconds (None before the first sample).
+    pub fn min_rtt_s(&self) -> Option<f64> {
+        self.have_rtt.then_some(self.min_rtt_s)
+    }
+
+    /// Estimated bandwidth-delay product, segments.
+    pub fn bdp(&self) -> f64 {
+        if self.have_rtt {
+            self.btl_bw * self.min_rtt_s
+        } else {
+            0.0
+        }
+    }
+
+    fn gain(&self) -> f64 {
+        match self.phase {
+            BbrPhase::Startup => BBR_STARTUP_GAIN,
+            BbrPhase::Drain => 1.0,
+            BbrPhase::ProbeBw(i) => BBR_CWND_GAIN * BBR_PROBE_CYCLE[i],
+        }
+    }
+
+    fn min_cwnd(&self) -> f64 {
+        self.cfg
+            .initial_cwnd
+            .max(BBR_MIN_CWND)
+            .min(self.cfg.max_wnd)
+    }
+
+    fn target_cwnd(&self) -> f64 {
+        let bdp = self.bdp();
+        if bdp <= 0.0 {
+            return self.min_cwnd();
+        }
+        (self.gain() * bdp).clamp(self.min_cwnd(), self.cfg.max_wnd)
+    }
+}
+
+impl CcAlgo for BbrLite {
+    fn kind(&self) -> CcKind {
+        CcKind::BbrLite
+    }
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+    fn on_ack(&mut self, ctx: &AckCtx) {
+        let now = ctx.now_ns;
+        // Delivery-rate sample: newly acked segments over the ACK spacing.
+        // Application-limited stretches must not raise the max filter.
+        if self.have_ack && now > self.last_ack_ns && ctx.newly_acked > 0 && ctx.cwnd_limited {
+            let bw = ctx.newly_acked as f64 / ((now - self.last_ack_ns) as f64 / 1e9);
+            let expired = (now - self.btl_bw_at_ns) as f64 / 1e9 > BBR_BW_WINDOW_S;
+            if bw >= self.btl_bw || expired {
+                self.btl_bw = bw;
+                self.btl_bw_at_ns = now;
+            }
+        }
+        self.last_ack_ns = now;
+        self.have_ack = true;
+        // Min-RTT filter with time-based expiry.
+        if let Some(r) = ctx.rtt_sample_s {
+            let expired =
+                self.have_rtt && (now - self.min_rtt_at_ns) as f64 / 1e9 > BBR_MIN_RTT_WINDOW_S;
+            if !self.have_rtt || r <= self.min_rtt_s || expired {
+                self.min_rtt_s = r;
+                self.min_rtt_at_ns = now;
+                self.have_rtt = true;
+            }
+        }
+        if self.have_rtt {
+            let rtt_ns = (self.min_rtt_s * 1e9) as u64;
+            // Round boundary: one window per min-RTT.
+            if now - self.round_start_ns >= rtt_ns {
+                self.round_start_ns = now;
+                if self.phase == BbrPhase::Startup {
+                    if self.btl_bw > self.full_bw * 1.25 {
+                        self.full_bw = self.btl_bw;
+                        self.full_bw_rounds = 0;
+                    } else {
+                        self.full_bw_rounds += 1;
+                        if self.full_bw_rounds >= BBR_FULL_BW_ROUNDS {
+                            self.phase = BbrPhase::Drain;
+                        }
+                    }
+                }
+            }
+            // Drain exits as soon as the queue is back to one BDP.
+            if self.phase == BbrPhase::Drain && (ctx.inflight as f64) <= self.bdp() {
+                self.phase = BbrPhase::ProbeBw(0);
+                self.cycle_start_ns = now;
+            }
+            // Advance the ProbeBW gain cycle once per min-RTT.
+            if let BbrPhase::ProbeBw(i) = self.phase {
+                if now - self.cycle_start_ns >= rtt_ns {
+                    self.phase = BbrPhase::ProbeBw((i + 1) % BBR_PROBE_CYCLE.len());
+                    self.cycle_start_ns = now;
+                }
+            }
+        }
+        // Move the window toward the target: shrink instantly, grow
+        // ACK-clocked (at most `newly_acked` per ACK, BBR's refill rule).
+        let target = self.target_cwnd();
+        if self.cwnd < target {
+            self.cwnd = (self.cwnd + ctx.newly_acked as f64).min(target);
+        } else {
+            self.cwnd = target;
+        }
+    }
+    fn on_dupack_loss(&mut self) {
+        // Loss-agnostic: note the event for traces, keep the model's window.
+        self.ssthresh = self.cwnd;
+    }
+    fn on_dupack_inflate(&mut self) {}
+    fn on_partial_ack(&mut self, _newly_acked: u64) {}
+    fn on_exit_recovery(&mut self) {}
+    fn on_rto(&mut self) {
+        // Conservative collapse; the refill rule restores the target within
+        // roughly one round trip of fresh ACKs.
+        self.ssthresh = self.cwnd;
+        self.cwnd = 1.0;
+    }
+    fn reset(&mut self) {
+        *self = Self::new(self.cfg);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+/// Enum dispatch over the three algorithms: keeps the sender `Copy`-friendly
+/// and `Debug`-printable (no trait objects) with static dispatch per arm.
+#[derive(Debug, Clone, Copy)]
+pub enum Cc {
+    /// See [`Reno`].
+    Reno(Reno),
+    /// See [`Cubic`].
+    Cubic(Cubic),
+    /// See [`BbrLite`].
+    BbrLite(BbrLite),
+}
+
+macro_rules! delegate {
+    ($self:ident, $m:ident $(, $a:expr)*) => {
+        match $self {
+            Cc::Reno(x) => x.$m($($a),*),
+            Cc::Cubic(x) => x.$m($($a),*),
+            Cc::BbrLite(x) => x.$m($($a),*),
+        }
+    };
+}
+
+impl Cc {
+    /// Instantiate the algorithm selected by `kind`.
+    pub fn new(kind: CcKind, cfg: CcConfig) -> Self {
+        match kind {
+            CcKind::Reno => Cc::Reno(Reno::new(cfg)),
+            CcKind::Cubic => Cc::Cubic(Cubic::new(cfg)),
+            CcKind::BbrLite => Cc::BbrLite(BbrLite::new(cfg)),
+        }
+    }
+
+    /// Force the slow-start threshold (test/diagnostic hook; lets unit tests
+    /// drop a sender straight into congestion avoidance).
+    #[doc(hidden)]
+    pub fn set_ssthresh(&mut self, v: f64) {
+        match self {
+            Cc::Reno(x) => x.ssthresh = v,
+            Cc::Cubic(x) => x.ssthresh = v,
+            Cc::BbrLite(x) => x.ssthresh = v,
+        }
+    }
+}
+
+impl CcAlgo for Cc {
+    fn kind(&self) -> CcKind {
+        delegate!(self, kind)
+    }
+    fn cwnd(&self) -> f64 {
+        delegate!(self, cwnd)
+    }
+    fn ssthresh(&self) -> f64 {
+        delegate!(self, ssthresh)
+    }
+    fn on_ack(&mut self, ctx: &AckCtx) {
+        delegate!(self, on_ack, ctx)
+    }
+    fn on_dupack_loss(&mut self) {
+        delegate!(self, on_dupack_loss)
+    }
+    fn on_dupack_inflate(&mut self) {
+        delegate!(self, on_dupack_inflate)
+    }
+    fn on_partial_ack(&mut self, newly_acked: u64) {
+        delegate!(self, on_partial_ack, newly_acked)
+    }
+    fn on_exit_recovery(&mut self) {
+        delegate!(self, on_exit_recovery)
+    }
+    fn on_rto(&mut self) {
+        delegate!(self, on_rto)
+    }
+    fn pacing_window(&self) -> f64 {
+        delegate!(self, pacing_window)
+    }
+    fn reset(&mut self) {
+        delegate!(self, reset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CcConfig {
+        CcConfig {
+            initial_cwnd: 2.0,
+            max_wnd: 10_000.0,
+        }
+    }
+
+    fn limited(now_ns: u64, newly_acked: u64, rtt_s: f64) -> AckCtx {
+        AckCtx {
+            now_ns,
+            newly_acked,
+            rtt_sample_s: Some(rtt_s),
+            srtt_s: Some(rtt_s),
+            inflight: 0,
+            cwnd_limited: true,
+        }
+    }
+
+    // ---- Reno ----
+
+    #[test]
+    fn reno_matches_historic_arithmetic() {
+        let mut r = Reno::new(cfg());
+        r.ssthresh = 4.0;
+        // Slow start: +1 per ACK until ssthresh.
+        r.on_ack(&limited(0, 1, 0.1));
+        assert_eq!(r.cwnd(), 3.0);
+        r.on_ack(&limited(1, 1, 0.1));
+        assert_eq!(r.cwnd(), 4.0);
+        // CA: +1/cwnd.
+        r.on_ack(&limited(2, 1, 0.1));
+        assert_eq!(r.cwnd(), 4.25);
+        // Loss: ssthresh = cwnd/2 (floor 2), cwnd = ssthresh + 3.
+        r.on_dupack_loss();
+        assert_eq!(r.ssthresh(), 2.125);
+        assert_eq!(r.cwnd(), 5.125);
+        r.on_dupack_inflate();
+        assert_eq!(r.cwnd(), 6.125);
+        r.on_partial_ack(3);
+        assert_eq!(r.cwnd(), 4.125);
+        r.on_exit_recovery();
+        assert_eq!(r.cwnd(), 2.125);
+        r.on_rto();
+        assert_eq!(r.cwnd(), 1.0);
+        assert_eq!(r.ssthresh(), 2.0);
+    }
+
+    #[test]
+    fn reno_ignores_app_limited_acks() {
+        let mut r = Reno::new(cfg());
+        let mut ctx = limited(0, 1, 0.1);
+        ctx.cwnd_limited = false;
+        r.on_ack(&ctx);
+        assert_eq!(r.cwnd(), 2.0, "app-limited ACK must not grow the window");
+    }
+
+    // ---- CUBIC ----
+
+    /// Drive a CUBIC controller with a dense ACK clock after a loss at a
+    /// known window and compare the trajectory against the closed-form
+    /// `W(t)` curve at fixed epochs.
+    #[test]
+    fn cubic_tracks_closed_form_window_curve() {
+        let mut c = Cubic::new(cfg());
+        c.ssthresh = 2.0; // straight to CA
+        c.cwnd = 100.0;
+        c.on_dupack_loss(); // w_max = 100, cwnd = 70 + 3 (recovery entry)
+        c.on_exit_recovery(); // cwnd = ssthresh = 70
+        assert_eq!(c.w_max, 100.0);
+        assert!((c.cwnd() - 70.0).abs() < 1e-9);
+
+        // ACK clock: cwnd ACKs per RTT, srtt constant.
+        let rtt_s = 0.1;
+        let mut now_ns = 0u64;
+        let expected_k = ((100.0 - 70.0) / CUBIC_C).cbrt(); // ≈ 4.217 s
+        let mut checked = 0;
+        while (now_ns as f64) < 2.5 * expected_k * 1e9 {
+            let acks_per_rtt = c.cwnd().max(1.0) as u64;
+            let step = (rtt_s * 1e9) as u64 / acks_per_rtt;
+            c.on_ack(&limited(now_ns, 1, rtt_s));
+            now_ns += step.max(1);
+            // At selected epochs the window must match W(t) closely. The
+            // per-ACK relaxation (target − cwnd)/cwnd converges within a few
+            // RTTs, so allow a small tolerance.
+            let t_s = now_ns as f64 / 1e9;
+            for probe in [0.5, 1.0, 1.5, 2.0] {
+                let epoch = probe * expected_k;
+                if (t_s - epoch).abs() < rtt_s / 2.0 {
+                    let w = c.w_cubic(t_s + rtt_s);
+                    assert!(
+                        (c.cwnd() - w).abs() / w < 0.06,
+                        "t={t_s:.2}s cwnd={} vs W(t)={w}",
+                        c.cwnd()
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked >= 4, "probed {checked} epochs");
+        assert_eq!(c.k, expected_k);
+        // Past K the curve is convex: the window must have passed w_max.
+        assert!(c.cwnd() > 100.0);
+    }
+
+    #[test]
+    fn cubic_fast_convergence_shrinks_plateau() {
+        let mut c = Cubic::new(cfg());
+        c.ssthresh = 2.0;
+        c.cwnd = 100.0;
+        c.on_dupack_loss();
+        assert_eq!(c.w_max, 100.0);
+        c.on_exit_recovery();
+        // Second loss below the old plateau: fast convergence kicks in.
+        c.on_dupack_loss();
+        let w = 70.0 * (2.0 - CUBIC_BETA) / 2.0;
+        assert!((c.w_max - w).abs() < 1e-9, "w_max={} want {w}", c.w_max);
+    }
+
+    #[test]
+    fn cubic_tcp_friendly_region_lower_bounds_growth() {
+        let mut c = Cubic::new(cfg());
+        c.ssthresh = 2.0;
+        c.cwnd = 100.0;
+        c.on_dupack_loss();
+        c.on_exit_recovery();
+        let w0 = c.cwnd();
+        // Early in the epoch the cubic increment is tiny; the TCP-friendly
+        // estimate still forces at least Reno-scale growth.
+        let mut now = 0u64;
+        for _ in 0..700 {
+            c.on_ack(&limited(now, 1, 0.1));
+            now += 1_430_000; // ≈ cwnd ACKs per 0.1 s RTT
+        }
+        let reno_rate = 3.0 * (1.0 - CUBIC_BETA) / (1.0 + CUBIC_BETA);
+        assert!(
+            c.cwnd() >= w0 + 0.9 * reno_rate,
+            "after one RTT-second cwnd={} w0={w0}",
+            c.cwnd()
+        );
+    }
+
+    // ---- BBR-lite ----
+
+    /// A synthetic steady ACK stream: `bw` segments/s delivered in bursts of
+    /// `burst` every `burst/bw` seconds with a constant RTT.
+    fn drive_bbr(
+        b: &mut BbrLite,
+        start_ns: u64,
+        dur_s: f64,
+        bw: f64,
+        rtt_s: f64,
+        inflight: u64,
+    ) -> u64 {
+        let burst = 2u64;
+        let step_ns = (burst as f64 / bw * 1e9) as u64;
+        let mut now = start_ns;
+        let end = start_ns + (dur_s * 1e9) as u64;
+        while now < end {
+            let mut ctx = limited(now, burst, rtt_s);
+            ctx.inflight = inflight;
+            b.on_ack(&ctx);
+            now += step_ns;
+        }
+        now
+    }
+
+    #[test]
+    fn bbr_gain_cycle_progresses_deterministically() {
+        let mut b = BbrLite::new(cfg());
+        assert_eq!(b.phase(), BbrPhase::Startup);
+        // Constant 1000 seg/s, 50 ms RTT → BDP = 50 segments.
+        let t1 = drive_bbr(&mut b, 0, 1.0, 1000.0, 0.05, 100);
+        assert_eq!(
+            b.phase(),
+            BbrPhase::Drain,
+            "bandwidth plateaued for 3 rounds"
+        );
+        assert!((b.btl_bw() - 1000.0).abs() < 1.0);
+        assert_eq!(b.min_rtt_s(), Some(0.05));
+        // Inflight at one BDP ends Drain.
+        let mut ctx = limited(t1, 2, 0.05);
+        ctx.inflight = 10;
+        b.on_ack(&ctx);
+        assert_eq!(b.phase(), BbrPhase::ProbeBw(0));
+        // The cycle advances one phase per min-RTT, deterministically.
+        let mut seen = vec![0usize];
+        let mut now = t1;
+        for _ in 0..200 {
+            now += 5_000_000; // 5 ms
+            let mut c2 = limited(now, 2, 0.05);
+            c2.inflight = 50;
+            b.on_ack(&c2);
+            if let BbrPhase::ProbeBw(i) = b.phase() {
+                if *seen.last().unwrap() != i {
+                    seen.push(i);
+                }
+            }
+        }
+        assert!(
+            seen.starts_with(&[0, 1, 2, 3, 4, 5, 6, 7, 0]),
+            "gain cycle must advance in order: {seen:?}"
+        );
+        // Steady state: cwnd tracks gain × BDP (cruise gain 2 × 50 = 100).
+        assert!((b.bdp() - 50.0).abs() < 1.0, "bdp={}", b.bdp());
+    }
+
+    #[test]
+    fn bbr_min_rtt_filter_expires() {
+        let mut b = BbrLite::new(cfg());
+        drive_bbr(&mut b, 0, 1.0, 1000.0, 0.05, 100);
+        assert_eq!(b.min_rtt_s(), Some(0.05));
+        // RTT rises to 80 ms; within the window the 50 ms min is sticky.
+        let t = drive_bbr(&mut b, (1.0 * 1e9) as u64, 5.0, 1000.0, 0.08, 100);
+        assert_eq!(b.min_rtt_s(), Some(0.05), "min-RTT sticky inside window");
+        // Past the 10 s horizon the stale minimum expires to the live RTT.
+        drive_bbr(&mut b, t + (6.0 * 1e9) as u64, 1.0, 1000.0, 0.08, 100);
+        assert_eq!(b.min_rtt_s(), Some(0.08), "stale min-RTT must expire");
+    }
+
+    #[test]
+    fn bbr_rto_collapses_then_refills() {
+        let mut b = BbrLite::new(cfg());
+        drive_bbr(&mut b, 0, 1.0, 1000.0, 0.05, 100);
+        let w = b.cwnd();
+        assert!(w > 10.0);
+        b.on_rto();
+        assert_eq!(b.cwnd(), 1.0);
+        // Refill is ACK-clocked: each ACK grows by newly_acked up to target.
+        let mut now = (1.0 * 1e9) as u64;
+        let mut c = limited(now, 4, 0.05);
+        c.inflight = 50;
+        b.on_ack(&c);
+        assert!(b.cwnd() <= 5.0);
+        for _ in 0..100 {
+            now += 2_000_000;
+            c = limited(now, 4, 0.05);
+            c.inflight = 50;
+            b.on_ack(&c);
+        }
+        assert!(b.cwnd() > 10.0, "window refills after RTO: {}", b.cwnd());
+    }
+
+    #[test]
+    fn bbr_app_limited_samples_do_not_raise_bw() {
+        let mut b = BbrLite::new(cfg());
+        drive_bbr(&mut b, 0, 1.0, 100.0, 0.05, 100);
+        let bw = b.btl_bw();
+        let mut ctx = limited((1.0 * 1e9) as u64 + 1000, 50, 0.05);
+        ctx.cwnd_limited = false; // app-limited burst, absurdly high rate
+        b.on_ack(&ctx);
+        assert_eq!(b.btl_bw(), bw, "app-limited sample must be discarded");
+    }
+
+    // ---- dispatch ----
+
+    #[test]
+    fn dispatch_constructs_the_right_algorithm() {
+        for kind in CcKind::all() {
+            let c = Cc::new(kind, cfg());
+            assert_eq!(c.kind(), kind);
+            assert_eq!(c.cwnd(), 2.0);
+            assert_eq!(c.pacing_window(), 2.0);
+        }
+        assert_eq!(CcKind::Reno.name(), "reno");
+        assert_eq!(CcKind::Cubic.name(), "cubic");
+        assert_eq!(CcKind::BbrLite.name(), "bbr-lite");
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_trajectory() {
+        for kind in CcKind::all() {
+            let mut a = Cc::new(kind, cfg());
+            let mut b = Cc::new(kind, cfg());
+            let mut now = 0u64;
+            for i in 0..500u64 {
+                let ctx = limited(now, 1 + i % 3, 0.02 + (i % 7) as f64 * 0.001);
+                a.on_ack(&ctx);
+                b.on_ack(&ctx);
+                if i % 97 == 0 {
+                    a.on_dupack_loss();
+                    b.on_dupack_loss();
+                    a.on_exit_recovery();
+                    b.on_exit_recovery();
+                }
+                now += 1_000_000 + (i % 5) * 300_000;
+            }
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+}

@@ -156,6 +156,19 @@ impl StaticSplitter {
         self.queues[k].pop_front()
     }
 
+    /// Peek at the next packet assigned to path `k` without removing it.
+    pub fn peek(&self, k: usize) -> Option<&StreamPacket> {
+        self.queues[k].front()
+    }
+
+    /// Assign a packet to an explicitly chosen path, bypassing the
+    /// weighted-round-robin credit counters (used by the non-default pull
+    /// strategies, which make their own placement decisions).
+    pub fn assign(&mut self, k: usize, pkt: StreamPacket) {
+        self.queues[k].push_back(pkt);
+        self.assigned[k] += 1;
+    }
+
     /// Packets waiting for path `k`.
     pub fn queued(&self, k: usize) -> usize {
         self.queues[k].len()

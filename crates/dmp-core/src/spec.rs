@@ -91,6 +91,57 @@ impl SchedulerKind {
     }
 }
 
+/// How a server decides which path serves the next queued packet — the
+/// striping policy layered on top of a [`SchedulerKind`]'s queue structure.
+/// `RoundRobin` is the paper's baseline (and byte-identical to the
+/// historical hard-coded rotation); the others are extensions motivated by
+/// preference-aware multipath striping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PullStrategy {
+    /// The paper baseline: the rotation models which blocked sender wins the
+    /// shared-queue lock first on each generation event.
+    #[default]
+    RoundRobin,
+    /// Deficit-weighted striping: the path furthest behind its configured
+    /// bandwidth share pulls first.
+    Weighted,
+    /// Greedy path quality: the path with the lowest smoothed RTT (ties
+    /// broken by congestion-window headroom) pulls first.
+    BestPath,
+    /// The head packet is duplicated onto every path with buffer space; the
+    /// client keeps the first copy to arrive. Burns bandwidth for latency.
+    RedundantDuplicate,
+    /// Earliest-deadline-first against the playout clock: queue order is
+    /// already EDF (FIFO in generation order), and packets older than the
+    /// pull deadline are dropped at the server instead of wasting path
+    /// capacity on data that will miss playback anyway.
+    DeadlineAware,
+}
+
+impl PullStrategy {
+    /// Stable lowercase name used in trace events and artifact keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PullStrategy::RoundRobin => "round-robin",
+            PullStrategy::Weighted => "weighted",
+            PullStrategy::BestPath => "best-path",
+            PullStrategy::RedundantDuplicate => "redundant-duplicate",
+            PullStrategy::DeadlineAware => "deadline-aware",
+        }
+    }
+
+    /// Every strategy, in canonical sweep order.
+    pub fn all() -> [PullStrategy; 5] {
+        [
+            PullStrategy::RoundRobin,
+            PullStrategy::Weighted,
+            PullStrategy::BestPath,
+            PullStrategy::RedundantDuplicate,
+            PullStrategy::DeadlineAware,
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +177,18 @@ mod tests {
         ];
         assert_ne!(names[0], names[1]);
         assert_ne!(names[1], names[2]);
+    }
+
+    #[test]
+    fn pull_strategy_names_are_distinct_and_stable() {
+        let all = PullStrategy::all();
+        assert_eq!(all.len(), 5);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+        assert_eq!(PullStrategy::default(), PullStrategy::RoundRobin);
+        assert_eq!(PullStrategy::RoundRobin.name(), "round-robin");
     }
 }

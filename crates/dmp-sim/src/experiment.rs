@@ -9,7 +9,7 @@ use std::rc::Rc;
 
 use dmp_core::metrics::{LateFractions, LatenessReport};
 use dmp_core::resilience::{ResilienceReport, ResilienceSpec};
-use dmp_core::spec::{PathSpec, SchedulerKind};
+use dmp_core::spec::{PathSpec, PullStrategy, SchedulerKind};
 use dmp_core::stats::OnlineStats;
 use dmp_core::trace::StreamTrace;
 use dmp_runner::{JobSpec, Json, JsonCodec};
@@ -121,6 +121,13 @@ pub struct ExperimentSpec {
     /// Loss-recovery flavour of the video TCP flows (ablation; the paper
     /// uses Reno).
     pub video_flavor: netsim::tcp::TcpFlavor,
+    /// Congestion-control algorithm of the video TCP flows (extension; the
+    /// paper derives everything under Reno). Background traffic always runs
+    /// Reno — the question is how the *video* flows behave among it.
+    pub cc: cc::CcKind,
+    /// Striping strategy layered on the scheduler (extension; the paper's
+    /// implicit policy is `RoundRobin`).
+    pub strategy: PullStrategy,
     /// Simulation engine (scheduler implementation). Both engines produce
     /// identical results — the heap exists for differential testing — but
     /// the choice is part of the cache key so differential runs never serve
@@ -150,6 +157,8 @@ impl ExperimentSpec {
             static_weights: None,
             red: false,
             video_flavor: netsim::tcp::TcpFlavor::Reno,
+            cc: cc::CcKind::Reno,
+            strategy: PullStrategy::RoundRobin,
             engine: EngineKind::default(),
             scenario: Scenario::default(),
             trace: TraceSpec::off(),
@@ -180,8 +189,13 @@ impl ExperimentSpec {
         // v6: coalesced link delivery and per-link RNG streams — event
         // sequence numbers and the random-loss draws both changed, so no v5
         // summary can be byte-compatible with a v6 run.
+        // v7: the spec gained the `cc` and `strategy` fields (pluggable
+        // congestion control + pull strategies), and RFC 2861 window
+        // validation is re-evaluated per ACK instead of latched per send —
+        // application-limited windows now stop growing, which shifts the
+        // physics of every video flow relative to v6.
         format!(
-            "dmp-sim/v6/{self:?}/scenario#{:016x}",
+            "dmp-sim/v7/{self:?}/scenario#{:016x}",
             self.scenario.stable_hash()
         )
     }
@@ -326,6 +340,7 @@ pub fn build(spec: &ExperimentSpec) -> BuiltExperiment {
     let mut sim = Sim::with_engine(spec.seed, spec.engine);
     let mut video_cfg = video_tcp(setting.video.packet_bytes, spec.send_buf_pkts);
     video_cfg.flavor = spec.video_flavor;
+    video_cfg.cc = spec.cc;
 
     let topo: Topology = if setting.correlated {
         // Correlated paths share one bottleneck: provision the union of all
@@ -403,7 +418,20 @@ pub fn build(spec: &ExperimentSpec) -> BuiltExperiment {
                     conn: h.video_flow,
                 },
             );
+            tracer.emit(
+                0,
+                obs::EventKind::CcAlgo {
+                    conn: h.video_flow,
+                    algo: spec.cc.name().to_string(),
+                },
+            );
         }
+        tracer.emit(
+            0,
+            obs::EventKind::Strategy {
+                name: spec.strategy.name().to_string(),
+            },
+        );
         sim.set_tracer(tracer);
         Some((rec, path, label))
     } else {
@@ -447,27 +475,38 @@ pub fn build(spec: &ExperimentSpec) -> BuiltExperiment {
 
     match spec.scheduler {
         SchedulerKind::Dynamic | SchedulerKind::SinglePath => {
-            sim.add_app(Box::new(DmpServer::new(
-                flows.clone(),
-                setting.video,
-                trace.clone(),
-                secs(spec.warmup_s),
-                n_packets,
-            )));
+            let weights = spec
+                .static_weights
+                .clone()
+                .unwrap_or_else(|| vec![1.0; flows.len()]);
+            sim.add_app(Box::new(
+                DmpServer::new(
+                    flows.clone(),
+                    setting.video,
+                    trace.clone(),
+                    secs(spec.warmup_s),
+                    n_packets,
+                )
+                .with_strategy(spec.strategy)
+                .with_weights(&weights),
+            ));
         }
         SchedulerKind::Static => {
             let weights = spec
                 .static_weights
                 .clone()
                 .unwrap_or_else(|| vec![1.0; flows.len()]);
-            sim.add_app(Box::new(StaticServer::new(
-                flows.clone(),
-                &weights,
-                setting.video,
-                trace.clone(),
-                secs(spec.warmup_s),
-                n_packets,
-            )));
+            sim.add_app(Box::new(
+                StaticServer::new(
+                    flows.clone(),
+                    &weights,
+                    setting.video,
+                    trace.clone(),
+                    secs(spec.warmup_s),
+                    n_packets,
+                )
+                .with_strategy(spec.strategy),
+            ));
         }
     }
     sim.add_app(Box::new(VideoClient::new(&flows, trace.clone())));
@@ -954,6 +993,11 @@ mod tests {
 
         let mut dmp = quick_spec("2-2", SchedulerKind::Dynamic, 47);
         dmp.scenario = scn;
+        // With per-ACK cwnd validation (RFC 2861) the video flows hold no
+        // inflated window going into the outage, so draining the backlog
+        // happens at fair share and needs more post-restore runway than the
+        // 120 s quick scale allows.
+        dmp.duration_s = 240.0;
         let d = run_scenario_summary(&dmp, &[4.0], res);
         assert!(
             d.resilience.recovered,

@@ -32,6 +32,7 @@
 
 pub mod configs;
 pub mod experiment;
+pub mod probe;
 pub mod topology;
 pub mod video;
 

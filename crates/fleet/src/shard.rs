@@ -147,7 +147,8 @@ pub fn run_shard(spec: &FleetSpec, shard: u32, trace: Option<(&Path, &str)>) -> 
     }
 
     let access = |delay_ms: f64| LinkSpec::from_table(100.0, delay_ms, 4_000);
-    let tcp = video_tcp(spec.video.packet_bytes, spec.send_buf_pkts);
+    let mut tcp = video_tcp(spec.video.packet_bytes, spec.send_buf_pkts);
+    tcp.cc = spec.cc;
     let first = spec.first_session(shard);
     let mut sessions = Vec::with_capacity(n);
     for (local, plan) in plans.iter().enumerate() {
@@ -203,21 +204,37 @@ pub fn run_shard(spec: &FleetSpec, shard: u32, trace: Option<(&Path, &str)>) -> 
                         conn: f,
                     },
                 );
+                tracer.emit(
+                    0,
+                    EventKind::CcAlgo {
+                        conn: f,
+                        algo: spec.cc.name().to_string(),
+                    },
+                );
             }
         }
+        tracer.emit(
+            0,
+            EventKind::Strategy {
+                name: spec.strategy.name().to_string(),
+            },
+        );
         sim.set_tracer(tracer);
         (rec, path.to_path_buf(), label.to_string())
     });
 
     for s in &sessions {
         let start_at = secs(spec.warmup_s + s.plan.arrival_s);
-        sim.add_app(Box::new(DmpServer::new(
-            s.flows.clone(),
-            spec.video,
-            s.trace.clone(),
-            start_at,
-            s.budget,
-        )));
+        sim.add_app(Box::new(
+            DmpServer::new(
+                s.flows.clone(),
+                spec.video,
+                s.trace.clone(),
+                start_at,
+                s.budget,
+            )
+            .with_strategy(spec.strategy),
+        ));
         sim.add_app(Box::new(VideoClient::new(&s.flows, s.trace.clone())));
         sim.add_app(Box::new(SessionMarker {
             session: s.session,

@@ -11,7 +11,8 @@
 //! an execution detail that must never change a result byte; that knob lives
 //! in [`crate::run::FleetOptions`], not here.
 
-use dmp_core::spec::VideoSpec;
+use cc::CcKind;
+use dmp_core::spec::{PullStrategy, VideoSpec};
 use netsim::EngineKind;
 use scenario::FleetTimeline;
 
@@ -60,6 +61,11 @@ pub struct FleetSpec {
     pub engine: EngineKind,
     /// Startup delay τ the per-session lateness/glitch metrics evaluate at.
     pub tau_s: f64,
+    /// Congestion control run by every session's video flows (background
+    /// traffic, when present, always runs Reno).
+    pub cc: CcKind,
+    /// How each session's server picks the path serving the next packet.
+    pub strategy: PullStrategy,
     /// RNG seed; churn and every shard RNG derive from it deterministically.
     pub seed: u64,
 }
@@ -86,6 +92,8 @@ impl FleetSpec {
             timeline: FleetTimeline::default(),
             engine: EngineKind::default(),
             tau_s: 4.0,
+            cc: CcKind::Reno,
+            strategy: PullStrategy::RoundRobin,
             seed,
         }
     }
@@ -144,10 +152,13 @@ impl FleetSpec {
     ///
     /// Version history: v1 original; v2 coalesced link delivery (event
     /// counts shrink, per-link RNG streams, telemetry gains
-    /// `transits`/`ring_hwm`).
+    /// `transits`/`ring_hwm`); v3 pluggable congestion control + pull
+    /// strategies (`cc`/`strategy` join the spec) and per-ACK RFC 2861
+    /// cwnd validation in the TCP sender (app-limited flows stop growing
+    /// their window, which shifts every simulated byte stream).
     pub fn config_repr(&self) -> String {
         format!(
-            "fleet/v2/{self:?}/timeline#{:016x}",
+            "fleet/v3/{self:?}/timeline#{:016x}",
             self.timeline.stable_hash()
         )
     }
@@ -195,5 +206,11 @@ mod tests {
         let mut d = a.clone();
         d.timeline = FleetTimeline::named("surge").spike(10.0, 5.0, 20.0);
         assert_ne!(a.config_repr(), d.config_repr());
+        let mut e = a.clone();
+        e.cc = CcKind::Cubic;
+        assert_ne!(a.config_repr(), e.config_repr());
+        let mut f = a.clone();
+        f.strategy = PullStrategy::BestPath;
+        assert_ne!(a.config_repr(), f.config_repr());
     }
 }

@@ -15,6 +15,8 @@
 
 use std::collections::VecDeque;
 
+use cc::{AckCtx, Cc, CcAlgo, CcConfig, CcKind};
+
 use crate::packet::{AppChunk, FlowId, NodeId, Packet};
 use crate::tcp::ring::SeqRing;
 use crate::tcp::rtt::RttEstimator;
@@ -48,6 +50,8 @@ pub struct TcpConfig {
     pub max_backoff_exp: u32,
     /// Loss-recovery flavour (Reno or NewReno).
     pub flavor: TcpFlavor,
+    /// Congestion-control algorithm (window growth/decrease response).
+    pub cc: CcKind,
 }
 
 impl Default for TcpConfig {
@@ -59,6 +63,7 @@ impl Default for TcpConfig {
             initial_cwnd: 2.0,
             max_backoff_exp: 6,
             flavor: TcpFlavor::Reno,
+            cc: CcKind::Reno,
         }
     }
 }
@@ -103,8 +108,9 @@ pub struct TcpSender {
     // --- connection state ---
     next_seq: u64,
     snd_una: u64,
-    cwnd: f64,
-    ssthresh: f64,
+    /// Pluggable congestion-control algorithm: owns cwnd/ssthresh and every
+    /// growth/decrease decision (loss *detection* stays here).
+    cc: Cc,
     dupacks: u32,
     in_recovery: bool,
     /// Highest sequence outstanding when recovery began (NewReno's
@@ -113,12 +119,6 @@ pub struct TcpSender {
     backoff_exp: u32,
     /// One in-flight RTT sample: (segment, first-transmission time).
     sample: Option<(u64, SimTime)>,
-    /// Set when transmission was limited by the congestion window since the
-    /// last ACK; cwnd only grows on ACKs that arrive cwnd-limited (RFC 2861
-    /// congestion-window validation — without it an application-limited
-    /// stream inflates its window far beyond use and becomes artificially
-    /// immune to halvings).
-    cwnd_limited: bool,
 
     // --- data ---
     mode: AppMode,
@@ -163,14 +163,18 @@ impl TcpSender {
             cfg,
             next_seq: 0,
             snd_una: 0,
-            cwnd: cfg.initial_cwnd,
-            ssthresh: f64::from(cfg.max_wnd),
+            cc: Cc::new(
+                cfg.cc,
+                CcConfig {
+                    initial_cwnd: cfg.initial_cwnd,
+                    max_wnd: f64::from(cfg.max_wnd),
+                },
+            ),
             dupacks: 0,
             in_recovery: false,
             recover: 0,
             backoff_exp: 0,
             sample: None,
-            cwnd_limited: false,
             mode: AppMode::Buffered,
             tx_buf: VecDeque::new(),
             inflight: SeqRing::new(),
@@ -193,8 +197,8 @@ impl TcpSender {
         if self.trace_on {
             self.marks.push(TraceMark::Cwnd {
                 t,
-                cwnd: self.cwnd,
-                ssthresh: self.ssthresh,
+                cwnd: self.cc.cwnd(),
+                ssthresh: self.cc.ssthresh(),
             });
         }
     }
@@ -231,8 +235,7 @@ impl TcpSender {
     /// new transfer (used by the HTTP session generator). The RTT estimator
     /// is kept — a fresh handshake would re-measure it within one round trip.
     pub fn restart_connection(&mut self) {
-        self.cwnd = self.cfg.initial_cwnd;
-        self.ssthresh = f64::from(self.cfg.max_wnd);
+        self.cc.reset();
         self.dupacks = 0;
         self.in_recovery = false;
         self.backoff_exp = 0;
@@ -250,7 +253,17 @@ impl TcpSender {
 
     /// Current congestion window (segments, fractional).
     pub fn cwnd(&self) -> f64 {
-        self.cwnd
+        self.cc.cwnd()
+    }
+
+    /// Current slow-start threshold (segments).
+    pub fn ssthresh(&self) -> f64 {
+        self.cc.ssthresh()
+    }
+
+    /// Which congestion-control algorithm this sender runs.
+    pub fn cc_kind(&self) -> CcKind {
+        self.cfg.cc
     }
 
     /// True if a sized transfer is finished and the sender has gone idle.
@@ -269,7 +282,28 @@ impl TcpSender {
     // ------------------------------------------------------------------
 
     fn effective_wnd(&self) -> u64 {
-        (self.cwnd.floor() as u64).clamp(1, u64::from(self.cfg.max_wnd))
+        (self.cc.pacing_window().floor() as u64).clamp(1, u64::from(self.cfg.max_wnd))
+    }
+
+    /// Data the application could still hand to TCP right now, segments.
+    fn pending_app_data(&self) -> u64 {
+        match self.mode {
+            AppMode::Buffered => self.tx_buf.len() as u64,
+            AppMode::Backlogged { remaining: None } => u64::MAX,
+            AppMode::Backlogged { remaining: Some(n) } => n,
+            AppMode::Idle => 0,
+        }
+    }
+
+    /// RFC 2861 congestion-window validation, re-evaluated per ACK: the
+    /// window (not the application) is the limit iff flight plus queued data
+    /// could fill it. Without this check an application-limited stream
+    /// inflates its window far beyond use and becomes artificially immune to
+    /// halvings; with the old latched-until-next-send variant a single
+    /// window-limited transmission kept an idle flow growing across
+    /// arbitrarily many ACKs.
+    fn is_cwnd_limited(&self) -> bool {
+        self.unacked().saturating_add(self.pending_app_data()) >= self.effective_wnd()
     }
 
     fn next_chunk(&mut self, now: SimTime) -> Option<AppChunk> {
@@ -294,9 +328,6 @@ impl TcpSender {
             let Some(chunk) = self.next_chunk(now) else {
                 break;
             };
-            if self.next_seq + 1 == self.snd_una + wnd {
-                self.cwnd_limited = true;
-            }
             self.inflight.insert(self.next_seq, chunk);
             self.emit(self.next_seq, chunk, false);
             if self.sample.is_none() {
@@ -368,11 +399,17 @@ impl TcpSender {
     }
 
     fn handle_new_ack(&mut self, ack: u64, now: SimTime) {
+        // Window validation must look at the pre-ACK state: was the flight
+        // that produced this ACK limited by the window?
+        let cwnd_limited = self.is_cwnd_limited();
+        let inflight_before = self.unacked();
         // RTT sample (Karn-compliant: sample is cleared on retransmission of
         // the timed segment and on timeouts).
+        let mut rtt_sample_s = None;
         if let Some((s, t0)) = self.sample {
             if ack > s {
                 self.rtt.update(now - t0);
+                rtt_sample_s = Some((now - t0) as f64 / 1e9);
                 self.sample = None;
             }
         }
@@ -387,7 +424,7 @@ impl TcpSender {
                 // NewReno partial ACK: the next hole is now at snd_una —
                 // retransmit it, deflate by the amount acked, stay in
                 // recovery.
-                self.cwnd = (self.cwnd - newly_acked as f64 + 1.0).max(1.0);
+                self.cc.on_partial_ack(newly_acked);
                 self.retransmit_head();
                 if self.trace_on {
                     self.marks.push(TraceMark::Retransmit {
@@ -402,8 +439,8 @@ impl TcpSender {
                 self.wake_app = true;
                 return;
             }
-            // Full ACK (or classic Reno): deflate to ssthresh and exit.
-            self.cwnd = self.ssthresh.max(1.0);
+            // Full ACK (or classic Reno): deflate and exit.
+            self.cc.on_exit_recovery();
             self.in_recovery = false;
             if self.trace_on {
                 self.marks.push(TraceMark::FastRecovery {
@@ -412,21 +449,20 @@ impl TcpSender {
                 });
             }
             self.mark_cwnd(now);
-        } else if std::mem::take(&mut self.cwnd_limited) {
-            let before = self.cwnd;
-            if self.cwnd < self.ssthresh {
-                // Slow start: +1 per ACK received (delayed ACKs halve the
-                // rate, as in real stacks without ABC).
-                self.cwnd = (self.cwnd + 1.0).min(f64::from(self.cfg.max_wnd));
-            } else {
-                // Congestion avoidance: +1/cwnd per ACK.
-                self.cwnd = (self.cwnd + 1.0 / self.cwnd).min(f64::from(self.cfg.max_wnd));
-            }
-            if self.cwnd != before {
+        } else {
+            let before = self.cc.cwnd();
+            self.cc.on_ack(&AckCtx {
+                now_ns: now,
+                newly_acked,
+                rtt_sample_s,
+                srtt_s: self.rtt.srtt_secs(),
+                inflight: inflight_before,
+                cwnd_limited,
+            });
+            if self.cc.cwnd() != before {
                 self.mark_cwnd(now);
             }
         }
-        let _ = newly_acked;
 
         if self.unacked() == 0 {
             self.cancel_timer();
@@ -440,12 +476,11 @@ impl TcpSender {
         self.dupacks += 1;
         if self.in_recovery {
             // Window inflation lets new data out during recovery.
-            self.cwnd = (self.cwnd + 1.0).min(f64::from(self.cfg.max_wnd) + 3.0);
+            self.cc.on_dupack_inflate();
         } else if self.dupacks == 3 {
-            self.ssthresh = (self.cwnd / 2.0).max(2.0);
             self.recover = self.next_seq;
             self.retransmit_head();
-            self.cwnd = self.ssthresh + 3.0;
+            self.cc.on_dupack_loss();
             self.in_recovery = true;
             self.stats.fast_retransmits += 1;
             self.arm_timer(now);
@@ -471,8 +506,7 @@ impl TcpSender {
             return;
         }
         self.stats.timeouts += 1;
-        self.ssthresh = (self.cwnd / 2.0).max(2.0);
-        self.cwnd = 1.0;
+        self.cc.on_rto();
         self.in_recovery = false;
         self.dupacks = 0;
         self.sample = None;
@@ -678,7 +712,7 @@ mod tests {
                 ..TcpConfig::default()
             },
         );
-        s.ssthresh = 2.0; // straight to CA for stable windows
+        s.cc.set_ssthresh(2.0); // straight to CA for stable windows
         s.set_backlogged(None);
         s.try_send(0);
         drain(&mut s);
@@ -720,7 +754,7 @@ mod tests {
     #[test]
     fn reno_exits_recovery_on_first_new_ack() {
         let mut s = sender(); // default = Reno
-        s.ssthresh = 2.0;
+        s.cc.set_ssthresh(2.0);
         s.set_backlogged(None);
         s.try_send(0);
         drain(&mut s);
@@ -741,9 +775,39 @@ mod tests {
     }
 
     #[test]
+    fn app_limited_flow_stops_growing_cwnd() {
+        // RFC 2861 validation, re-evaluated per ACK: a buffered flow with
+        // less data than its window must not grow the window, no matter how
+        // many ACKs it receives.
+        let mut s = sender();
+        let mut t = 0;
+        for burst in 0..20u64 {
+            assert!(s.push_chunk(AppChunk::synthetic(burst, t)));
+            s.try_send(t);
+            drain(&mut s);
+            t += SECOND / 10;
+            s.on_ack(burst + 1, t);
+        }
+        assert_eq!(
+            s.cwnd(),
+            s.cfg.initial_cwnd,
+            "one chunk in flight against a window of 2 is app-limited"
+        );
+        // The same flow becomes window-limited when its buffer fills; growth
+        // resumes on the very next ACK burst.
+        for i in 0..8u64 {
+            assert!(s.push_chunk(AppChunk::synthetic(100 + i, t)));
+        }
+        s.try_send(t);
+        drain(&mut s);
+        s.on_ack(s.acked() + 2, t + SECOND / 10);
+        assert!(s.cwnd() > s.cfg.initial_cwnd, "window-limited ACKs grow");
+    }
+
+    #[test]
     fn congestion_avoidance_is_linear() {
         let mut s = sender();
-        s.ssthresh = 2.0; // force CA immediately
+        s.cc.set_ssthresh(2.0); // force CA immediately
         s.set_backlogged(None);
         s.try_send(0);
         drain(&mut s);

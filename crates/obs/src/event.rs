@@ -79,6 +79,21 @@ pub enum EventKind {
         /// Connection id.
         conn: u32,
     },
+    /// Header: TCP connection `conn` runs congestion-control algorithm
+    /// `algo` (`cc::CcKind::name()`); cwnd marks for the connection are
+    /// interpreted against it.
+    CcAlgo {
+        /// Connection id.
+        conn: u32,
+        /// Stable algorithm name (`"reno"`, `"cubic"`, `"bbr-lite"`).
+        algo: String,
+    },
+    /// Header: the server's pull strategy for this run
+    /// (`dmp_core::spec::PullStrategy::name()`).
+    Strategy {
+        /// Stable strategy name (e.g. `"round-robin"`).
+        name: String,
+    },
     /// Congestion window or slow-start threshold changed.
     Cwnd {
         /// Connection id.
@@ -186,6 +201,12 @@ impl TraceEvent {
             EventKind::PathConn { path, conn } => {
                 format!("{{\"t\":{t},\"ev\":\"path_conn\",\"path\":{path},\"conn\":{conn}}}")
             }
+            EventKind::CcAlgo { conn, algo } => {
+                format!("{{\"t\":{t},\"ev\":\"cc_algo\",\"conn\":{conn},\"algo\":\"{algo}\"}}")
+            }
+            EventKind::Strategy { name } => {
+                format!("{{\"t\":{t},\"ev\":\"strategy\",\"name\":\"{name}\"}}")
+            }
             EventKind::Cwnd {
                 conn,
                 cwnd,
@@ -251,6 +272,19 @@ impl TraceEvent {
             "path_conn" => EventKind::PathConn {
                 path: int("path")? as u32,
                 conn: int("conn")? as u32,
+            },
+            "cc_algo" => EventKind::CcAlgo {
+                conn: int("conn")? as u32,
+                algo: match get("algo")? {
+                    Value::Str(s) => s.clone(),
+                    _ => return None,
+                },
+            },
+            "strategy" => EventKind::Strategy {
+                name: match get("name")? {
+                    Value::Str(s) => s.clone(),
+                    _ => return None,
+                },
             },
             "cwnd" => EventKind::Cwnd {
                 conn: int("conn")? as u32,
@@ -383,6 +417,19 @@ mod tests {
                 kind: EventKind::PathConn { path: 1, conn: 7 },
             },
             TraceEvent {
+                t: 0,
+                kind: EventKind::CcAlgo {
+                    conn: 7,
+                    algo: "bbr-lite".to_string(),
+                },
+            },
+            TraceEvent {
+                t: 0,
+                kind: EventKind::Strategy {
+                    name: "round-robin".to_string(),
+                },
+            },
+            TraceEvent {
                 t: 1_500_000_000,
                 kind: EventKind::Cwnd {
                     conn: 2,
@@ -511,6 +558,27 @@ mod tests {
         assert_eq!(
             ev.to_line(),
             "{\"t\":42,\"ev\":\"pull\",\"path\":1,\"seq\":9,\"queued\":2}"
+        );
+        let tag = TraceEvent {
+            t: 0,
+            kind: EventKind::CcAlgo {
+                conn: 3,
+                algo: "cubic".to_string(),
+            },
+        };
+        assert_eq!(
+            tag.to_line(),
+            "{\"t\":0,\"ev\":\"cc_algo\",\"conn\":3,\"algo\":\"cubic\"}"
+        );
+        let strat = TraceEvent {
+            t: 0,
+            kind: EventKind::Strategy {
+                name: "best-path".to_string(),
+            },
+        };
+        assert_eq!(
+            strat.to_line(),
+            "{\"t\":0,\"ev\":\"strategy\",\"name\":\"best-path\"}"
         );
     }
 }

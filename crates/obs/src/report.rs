@@ -94,6 +94,30 @@ impl Trace {
         map
     }
 
+    /// `(conn, algorithm name)` pairs from the `cc_algo` header events,
+    /// sorted by connection.
+    pub fn cc_algo_map(&self) -> Vec<(u32, String)> {
+        let mut map: Vec<(u32, String)> = self
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::CcAlgo { conn, algo } => Some((*conn, algo.clone())),
+                _ => None,
+            })
+            .collect();
+        map.sort_unstable();
+        map.dedup();
+        map
+    }
+
+    /// Pull-strategy name from the header events, if the trace recorded one.
+    pub fn strategy(&self) -> Option<String> {
+        self.events.iter().find_map(|e| match &e.kind {
+            EventKind::Strategy { name } => Some(name.clone()),
+            _ => None,
+        })
+    }
+
     /// Connection ids that have cwnd events, ascending.
     pub fn conns(&self) -> Vec<u32> {
         let mut conns: Vec<u32> = self
