@@ -1,0 +1,58 @@
+//! Render always-on metrics snapshots for humans.
+//!
+//! Usage:
+//!
+//! ```text
+//! metrics_report <metrics.json | metrics-dir>...
+//! ```
+//!
+//! Each argument is a `metrics/<name>.json` snapshot (written next to every
+//! artifact by the bench targets) or a directory of them; directories render
+//! every `*.json` inside, sorted by name. Output: per-snapshot label lines,
+//! percentile tables (count/mean/p50/p90/p99/max) with sparkline bucket
+//! shapes, and counter/gauge listings.
+
+use dmp_bench::metrics_report::render_file;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: metrics_report <metrics.json | metrics-dir>...");
+        std::process::exit(2);
+    }
+    let mut files = Vec::new();
+    for arg in &args {
+        let path = std::path::PathBuf::from(arg);
+        if path.is_dir() {
+            let mut inside: Vec<_> = match std::fs::read_dir(&path) {
+                Ok(rd) => rd
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                    .collect(),
+                Err(e) => {
+                    eprintln!("cannot list {arg}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            inside.sort();
+            files.extend(inside);
+        } else {
+            files.push(path);
+        }
+    }
+    for (i, file) in files.iter().enumerate() {
+        match render_file(file) {
+            Ok(text) => {
+                if i > 0 {
+                    println!();
+                }
+                print!("{text}");
+            }
+            Err(e) => {
+                eprintln!("metrics_report: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -100,6 +100,11 @@ pub struct CellOutcome {
     /// Every simulation of this cell (probe included) produced
     /// byte-identical summaries under the heap and calendar engines.
     pub engines_agree: bool,
+    /// Always-on metrics merged over the cell's calendar replications
+    /// (every multiple tried). Labelled with the cell's cc/strategy by the
+    /// dmp-sim layer; stays out of [`CellOutcome::to_json`] — the target
+    /// folds it into the standalone `metrics/<name>.json` instead.
+    pub metrics: obs::MetricsSnapshot,
 }
 
 impl CellOutcome {
@@ -289,11 +294,15 @@ fn cell_outcome(
     let mut tried = Vec::new();
     let mut headroom = None;
     let mut engines_agree = probe_agree;
+    let mut metrics = obs::MetricsSnapshot::new();
     for &m in &opts.multiples {
         let mut spec = cell_spec(kind, strategy, EngineKind::Calendar, opts);
         spec.setting.video.rate_pps = rate_for(sigma_pps, m);
         let (runs, agree) = run_both_engines(runner, &spec, opts.runs);
         engines_agree &= agree;
+        for r in &runs {
+            metrics.merge(&r.metrics);
+        }
         let late = mean_late(&runs);
         tried.push((m, late));
         if late < LATE_BUDGET {
@@ -308,6 +317,7 @@ fn cell_outcome(
         headroom,
         tried,
         engines_agree,
+        metrics,
     }
 }
 
@@ -392,15 +402,25 @@ pub fn ext_cc_matrix(runner: &Runner, scale: &Scale) -> TargetReport {
     let opts = MatrixOptions::from_scale(scale);
     let out = compute_matrix(runner, &opts);
     let cells_json = out.to_json();
-    TargetReport::new(render_matrix(&out), cells_json).with_meta(
-        "matrix",
-        Json::obj([
-            ("cc_count", Json::Num(out.probes.len() as f64)),
-            (
-                "strategy_count",
-                Json::Num(PullStrategy::all().len() as f64),
-            ),
-            ("all_engines_agree", Json::Bool(out.all_engines_agree())),
-        ]),
-    )
+    // Fold every cell's metrics; cc/strategy collapse to "mixed" (the matrix
+    // spans both axes by construction) and the engine label is calendar —
+    // the engine whose replications the cells keep.
+    let mut metrics = obs::MetricsSnapshot::new();
+    for c in &out.cells {
+        metrics.merge(&c.metrics);
+    }
+    metrics.set_label("engine", crate::target::engine_label(EngineKind::Calendar));
+    TargetReport::new(render_matrix(&out), cells_json)
+        .with_metrics(metrics)
+        .with_meta(
+            "matrix",
+            Json::obj([
+                ("cc_count", Json::Num(out.probes.len() as f64)),
+                (
+                    "strategy_count",
+                    Json::Num(PullStrategy::all().len() as f64),
+                ),
+                ("all_engines_agree", Json::Bool(out.all_engines_agree())),
+            ]),
+        )
 }

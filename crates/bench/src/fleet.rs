@@ -13,7 +13,7 @@
 
 use dmp_core::HEADROOM_RULE;
 use dmp_fleet::{run_fleet, FleetOptions, FleetResult, FleetSpec};
-use dmp_runner::{Json, Runner};
+use dmp_runner::{Json, JsonCodec, Runner};
 use netsim::EngineKind;
 use scenario::FleetTimeline;
 
@@ -99,8 +99,12 @@ pub fn ext_fleet(runner: &Runner, scale: &Scale) -> TargetReport {
     }
     let (cal_spec, cal) = &results[0];
     let (heap_spec, heap) = &results[1];
-    let engines_agree =
-        strip_config(&cal.artifact(cal_spec)) == strip_config(&heap.artifact(heap_spec));
+    // Byte-identity must hold for the artifact *and* the always-on metrics
+    // snapshot (exact integer histogram arithmetic makes the latter
+    // engine-invariant by construction).
+    let engines_agree = strip_config(&cal.artifact(cal_spec))
+        == strip_config(&heap.artifact(heap_spec))
+        && cal.metrics.to_json().render() == heap.metrics.to_json().render();
 
     let mut t = Table::new(
         format!(
@@ -137,8 +141,14 @@ pub fn ext_fleet(runner: &Runner, scale: &Scale) -> TargetReport {
         ("fleet", cal.artifact(cal_spec)),
     ]);
     // Satellite of `EngineTelemetry::absorb`: the volatile sidecar carries
-    // the per-shard counter breakdown plus the absorbed fleet total.
-    TargetReport::new(text, data).with_meta("shards", cal.shards_meta())
+    // the per-shard counter breakdown plus the absorbed fleet total. The
+    // attached metrics are the calendar run's (just asserted byte-identical
+    // to the heap's), engine-labelled at this level only.
+    let mut metrics = cal.metrics.clone();
+    metrics.set_label("engine", crate::target::engine_label(EngineKind::Calendar));
+    TargetReport::new(text, data)
+        .with_meta("shards", cal.shards_meta())
+        .with_metrics(metrics)
 }
 
 /// Fleet sizes swept by [`fleet_headroom`], smallest first.
@@ -156,6 +166,7 @@ pub fn fleet_headroom(runner: &Runner, scale: &Scale) -> TargetReport {
     let duration_s = if is_full(scale) { 150.0 } else { 50.0 };
     let mut rows = Vec::new();
     let mut served_capacity: Option<u32> = None;
+    let mut metrics = obs::MetricsSnapshot::new();
     let mut t = Table::new(
         format!(
             "fleet_headroom: sessions vs the {HEADROOM_RULE}× rule on one shared \
@@ -185,6 +196,7 @@ pub fn fleet_headroom(runner: &Runner, scale: &Scale) -> TargetReport {
         spec.mean_hold_s = duration_s * 2.0;
         spec.timeline = FleetTimeline::named("frontload").spike(0.0, 50.0, 0.1 * duration_s);
         let result = run_fleet(runner, &spec, &FleetOptions::default());
+        metrics.merge(&result.metrics);
         let r = &result.report;
         let served = r.started > 0 && r.headroom_ok >= SERVED_FRACTION;
         if served {
@@ -235,5 +247,6 @@ pub fn fleet_headroom(runner: &Runner, scale: &Scale) -> TargetReport {
         ),
         ("sweep", Json::arr(rows)),
     ]);
-    TargetReport::new(text, data)
+    metrics.set_label("engine", crate::target::engine_label(EngineKind::default()));
+    TargetReport::new(text, data).with_metrics(metrics)
 }

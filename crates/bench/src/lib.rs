@@ -31,16 +31,20 @@
 //! | `ext_cc_matrix` | the (congestion control × pull strategy) headroom matrix: smallest σ_a/µ multiple keeping late frames under 1 % per (Reno/CUBIC/BBR-lite, round-robin/weighted/best-path/redundant/deadline) cell, with saturation-probed σ_a and engine differentials |
 //! | `trace_report` | post-process an [`obs`] flight-recorder JSONL trace (recorded with `--trace`) into cwnd/throughput timelines, queue percentiles and a per-glitch "why" report |
 //! | `trace_example` | record the committed quick-scale `ext_failover` example trace and its report (see `artifacts/traces/`) |
+//! | `metrics_report` | render the always-on `metrics/<name>.json` snapshots written next to every artifact: percentile tables and sparkline histogram shapes |
+//! | `bench_diff` | cross-run regression differ: compare two metrics files/directories with per-metric relative-change thresholds; exit 0 no drift, 1 drift, 2 incomparable configs |
 
 #![warn(missing_docs)]
 
 pub mod cc_matrix;
+pub mod diff;
 pub mod extensions;
 pub mod fig1;
 pub mod fleet;
 pub mod fluid_fig;
 pub mod hetero;
 pub mod live_fig;
+pub mod metrics_report;
 pub mod params;
 pub mod report;
 pub mod scale;

@@ -74,15 +74,24 @@ pub fn experiment_set(scale: &Scale) -> Vec<LiveExperiment> {
 /// `DMP_NO_CACHE=1` to re-measure.
 fn live_job(i: usize, exp: LiveExperiment, taus: Vec<f64>) -> JobSpec<RunSummary> {
     // v2: the spec gained the `trace_label` field.
-    let config_repr = format!("live-fig7/v2/{exp:?}/taus{taus:?}");
+    // v3: summaries gained the always-on `metrics` section (frame-level
+    // metrics on the nominal-time trace); v2 payloads lack it.
+    let config_repr = format!("live-fig7/v3/{exp:?}/taus{taus:?}");
     let seed = exp.seed;
     let traced = exp.trace_label.is_some();
     let job = JobSpec::new(format!("fig7:live:exp{i}"), config_repr, seed, move || {
         let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
         let run = rt.block_on(run_experiment(&exp, &taus)).expect("live run");
+        // Frame metrics on the *nominal-time* trace (run_experiment undilates
+        // timestamps), so live distributions are directly comparable with the
+        // simulator's. Labelled `backend=live`: bench_diff must refuse to
+        // diff a live run against a simulated one rather than report drift.
+        let mut metrics = obs::MetricsSnapshot::new().with_label("backend", "live");
+        obs::record_frame_metrics(&mut metrics, &run.output.trace);
         RunSummary {
             paths: Vec::new(),
             per_tau: run.report.per_tau,
+            metrics,
         }
     });
     // A cache hit would skip the stream and write no trace file.
@@ -146,10 +155,12 @@ pub fn fig7(r: &Runner, scale: &Scale) -> TargetReport {
     let mut plotted = 0u32;
     let mut in_band_count = 0u32;
     let mut points = Vec::new();
+    let mut metrics = obs::MetricsSnapshot::new();
     for (i, cell) in live_cells.iter().enumerate() {
         let summary = cell
             .ok()
             .unwrap_or_else(|| panic!("{} failed: {:?}", cell.label, cell.failure()));
+        metrics.merge(&summary.metrics);
         for (ti, lf) in summary.per_tau.iter().enumerate() {
             a.row(vec![
                 i.to_string(),
@@ -209,5 +220,7 @@ pub fn fig7(r: &Runner, scale: &Scale) -> TargetReport {
         ),
         ("tables", Json::arr([a.to_json(), b.to_json()])),
     ]);
-    TargetReport::new(text, data)
+    // `backend=live` rides in from every summary; no engine label — there is
+    // no discrete-event engine behind a wall-clock measurement.
+    TargetReport::new(text, data).with_metrics(metrics)
 }

@@ -284,7 +284,18 @@ fn render(
             Json::Arr(rows.iter().map(SchedRow::to_json).collect()),
         ),
     ]);
-    TargetReport::new(text, data)
+    // Merged always-on metrics over every calendar replication (row
+    // statistics come from the calendar engine; the heap runs only feed the
+    // byte-identity check). Engine-invariant by construction, so the label
+    // names the engine whose runs were folded.
+    let mut metrics = obs::MetricsSnapshot::new();
+    for row in rows {
+        for s in &row.runs {
+            metrics.merge(&s.summary.metrics);
+        }
+    }
+    metrics.set_label("engine", crate::target::engine_label(EngineKind::Calendar));
+    TargetReport::new(text, data).with_metrics(metrics)
 }
 
 /// Scenario extension 1 — mid-stream path failure (see module docs).

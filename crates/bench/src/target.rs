@@ -7,7 +7,8 @@
 
 use std::time::{Duration, Instant};
 
-use dmp_runner::{ArtifactWriter, Json, Runner, RunnerStats};
+use dmp_runner::{ArtifactWriter, Json, JsonCodec, Runner, RunnerStats};
+use obs::MetricsSnapshot;
 
 use crate::report::Table;
 use crate::scale::Scale;
@@ -24,6 +25,12 @@ pub struct TargetReport {
     /// target wants alongside the engine counters (e.g. a fleet's per-shard
     /// breakdown). Never part of the deterministic artifact.
     pub meta: Vec<(&'static str, Json)>,
+    /// The target's merged always-on metrics snapshot. Deterministic like
+    /// `data` (pure function of the run; cached jobs replay it); [`execute`]
+    /// writes it standalone as `metrics/<name>.json` — the files `bench_diff`
+    /// compares — and mirrors it into the `.meta.json` sidecar's `metrics`
+    /// section for one-file reading.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl TargetReport {
@@ -33,6 +40,7 @@ impl TargetReport {
             text: text.into(),
             data,
             meta: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -41,6 +49,20 @@ impl TargetReport {
         self.meta.push((key, value));
         self
     }
+
+    /// Attach the target's metrics snapshot.
+    pub fn with_metrics(mut self, metrics: MetricsSnapshot) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+}
+
+/// The `engine` label value for a snapshot produced under `engine` — stamped
+/// at the bench level (never inside dmp-sim/fleet snapshots, whose
+/// cross-engine byte-identity is an asserted invariant) so `bench_diff`
+/// refuses to compare runs from different schedulers.
+pub fn engine_label(engine: netsim::EngineKind) -> String {
+    format!("{engine:?}").to_lowercase()
 }
 
 /// Signature shared by every reproduction target.
@@ -201,6 +223,13 @@ pub fn execute(
                 ])
             })),
         ));
+    }
+    if let Some(metrics) = &report.metrics {
+        let doc = metrics.to_json();
+        if let Err(e) = artifacts.write_metrics(name, &doc) {
+            eprintln!("warning: could not write metrics/{name}.json: {e}");
+        }
+        engine_meta.push(("metrics", doc));
     }
     if let Err(e) = artifacts.write_meta(name, &stats, runner.threads(), wall, engine_meta) {
         eprintln!("warning: could not write artifact {name}.meta.json: {e}");

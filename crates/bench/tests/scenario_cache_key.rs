@@ -66,8 +66,8 @@ fn cc_and_strategy_pairs_never_collide_in_cache_keys() {
             spec.strategy = strategy;
             let job = &batch_jobs(&spec, 1, &[4.0])[0];
             assert!(
-                job.config_repr.starts_with("dmp-sim/v7/"),
-                "cache key is not on the v7 repr: {}",
+                job.config_repr.starts_with("dmp-sim/v8/"),
+                "cache key is not on the v8 repr: {}",
                 job.config_repr
             );
             keys.push(job.config_repr.clone());

@@ -48,6 +48,12 @@ pub struct SessionOutcome {
 }
 
 /// Summary statistics of one per-session metric across the fleet.
+///
+/// This is the repo's **single** percentile implementation: every layer
+/// that reports a p50/p90/p99 — fleet reports, trace post-processing in
+/// `obs::report`, metric-snapshot rendering — funnels through either
+/// [`Distribution::from_values`] (exact order statistics) or
+/// [`Distribution::from_histogram`] (bucket reconstruction).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Distribution {
     /// Arithmetic mean.
@@ -56,31 +62,105 @@ pub struct Distribution {
     pub p50: f64,
     /// 90th percentile.
     pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
     /// Maximum.
     pub max: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
 }
 
 impl Distribution {
+    /// The all-zero distribution (what an empty sample reports).
+    pub fn zero() -> Self {
+        Self {
+            mean: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            max: 0.0,
+            stddev: 0.0,
+        }
+    }
+
     /// Summarise `values` (need not be sorted). Returns all-zero for an
     /// empty slice.
     pub fn from_values(values: &[f64]) -> Self {
         if values.is_empty() {
-            return Self {
-                mean: 0.0,
-                p50: 0.0,
-                p90: 0.0,
-                max: 0.0,
-            };
+            return Self::zero();
         }
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric values are finite"));
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / sorted.len() as f64;
         Self {
             mean,
             p50: percentile(&sorted, 0.50),
             p90: percentile(&sorted, 0.90),
+            p99: percentile(&sorted, 0.99),
             max: *sorted.last().expect("non-empty"),
+            stddev: var.max(0.0).sqrt(),
         }
+    }
+
+    /// Reconstruct a distribution from mergeable histogram state: exact
+    /// `count`/`sum`/`sum_sq`/`min`/`max` moments plus ascending
+    /// `(bucket_lo, bucket_hi, bucket_count)` triples (empty buckets may be
+    /// omitted). Because every input is a sum or max over samples, two
+    /// histograms merged in *any* order reconstruct the identical
+    /// distribution — the property shard merges rely on.
+    ///
+    /// Percentiles interpolate linearly inside the bucket containing the
+    /// rank (the same convention as [`from_values`](Self::from_values) uses
+    /// between order statistics), clamped to the exact `[min, max]` range.
+    pub fn from_histogram<I>(
+        count: u64,
+        sum: f64,
+        sum_sq: f64,
+        min: f64,
+        max: f64,
+        buckets: I,
+    ) -> Self
+    where
+        I: IntoIterator<Item = (f64, f64, u64)>,
+    {
+        if count == 0 {
+            return Self::zero();
+        }
+        let n = count as f64;
+        let mean = sum / n;
+        let var = (sum_sq / n) - mean * mean;
+        let mut dist = Self {
+            mean,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            max,
+            stddev: var.max(0.0).sqrt(),
+        };
+        // Ranks on the same 0..count-1 scale `percentile` uses.
+        let ranks = [0.50, 0.90, 0.99].map(|q| q * (n - 1.0));
+        let mut out = [min; 3];
+        let mut seen = 0u64;
+        for (lo, hi, c) in buckets {
+            if c == 0 {
+                continue;
+            }
+            let first = seen as f64;
+            let last = (seen + c - 1) as f64;
+            for (slot, &rank) in out.iter_mut().zip(&ranks) {
+                if rank >= first && rank <= last + 1.0 {
+                    // Spread the bucket's samples evenly over [lo, hi).
+                    let frac = ((rank - first) / c as f64).clamp(0.0, 1.0);
+                    *slot = (lo + frac * (hi - lo)).clamp(min, max);
+                }
+            }
+            seen += c;
+        }
+        dist.p50 = out[0];
+        dist.p90 = out[1];
+        dist.p99 = out[2];
+        dist
     }
 }
 
@@ -212,7 +292,42 @@ mod tests {
         let d = Distribution::from_values(&[4.0, 1.0, 2.0, 3.0]);
         assert!((d.p50 - 2.5).abs() < 1e-12);
         assert!((d.p90 - 3.7).abs() < 1e-12);
+        assert!((d.p99 - 3.97).abs() < 1e-12);
         assert_eq!(d.max, 4.0);
+        // Population stddev of {1,2,3,4}: sqrt(1.25).
+        assert!((d.stddev - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_reconstruction_matches_exact_moments() {
+        // 10 samples of value 4 and 10 of value 12, in two buckets.
+        let buckets = [(4.0, 5.0, 10u64), (8.0, 16.0, 10u64)];
+        let sum = 10.0 * 4.0 + 10.0 * 12.0;
+        let sum_sq = 10.0 * 16.0 + 10.0 * 144.0;
+        let d = Distribution::from_histogram(20, sum, sum_sq, 4.0, 12.0, buckets);
+        assert!((d.mean - 8.0).abs() < 1e-12);
+        assert!((d.stddev - 4.0).abs() < 1e-12);
+        assert_eq!(d.max, 12.0);
+        // p50 rank 9.5 falls in the first bucket's tail, clamped to min.
+        assert!(d.p50 >= 4.0 && d.p50 <= 5.0, "p50 {}", d.p50);
+        // p99 rank 18.8 falls deep in the second bucket.
+        assert!(d.p99 > 8.0 && d.p99 <= 12.0, "p99 {}", d.p99);
+        assert_eq!(
+            Distribution::from_histogram(0, 0.0, 0.0, 0.0, 0.0, []),
+            Distribution::zero()
+        );
+    }
+
+    #[test]
+    fn histogram_reconstruction_is_merge_order_invariant() {
+        // The same total histogram assembled as A+B and B+A (bucket counts
+        // are sums, moments are sums/maxes) must reconstruct identically.
+        let total = [(0.0, 1.0, 3u64), (1.0, 2.0, 5u64), (2.0, 4.0, 2u64)];
+        let sum = 0.5 * 3.0 + 1.5 * 5.0 + 3.0 * 2.0;
+        let sum_sq = 0.25 * 3.0 + 2.25 * 5.0 + 9.0 * 2.0;
+        let a = Distribution::from_histogram(10, sum, sum_sq, 0.2, 3.5, total);
+        let b = Distribution::from_histogram(10, sum, sum_sq, 0.2, 3.5, total.to_vec());
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -56,6 +56,18 @@ impl ArtifactWriter {
         Ok(path)
     }
 
+    /// Write a deterministic metrics snapshot as `metrics/<name>.json`,
+    /// returning its path. Standalone files (rather than a section of the
+    /// main artifact) let `bench_diff` compare two runs' metrics directories
+    /// without parsing figure-specific payloads.
+    pub fn write_metrics(&self, name: &str, metrics: &Json) -> io::Result<PathBuf> {
+        let dir = self.dir.join("metrics");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, metrics.render_pretty())?;
+        Ok(path)
+    }
+
     /// Write volatile execution telemetry as `<name>.meta.json`. `extra`
     /// key/value pairs (e.g. simulation-engine counters) are appended after
     /// the standard runner fields.
@@ -116,5 +128,16 @@ mod tests {
         let meta = crate::json::parse(&std::fs::read_to_string(&meta_path).unwrap()).unwrap();
         assert_eq!(meta.get("threads").unwrap().as_u64(), Some(4));
         assert_eq!(meta.get("engine_events").unwrap().as_u64(), Some(123));
+    }
+
+    #[test]
+    fn writes_metrics_under_metrics_subdir() {
+        let tmp = TempDir::new("artifact_metrics");
+        let w = ArtifactWriter::new(tmp.path());
+        let metrics = Json::obj([("counters", Json::obj([("x", Json::Num(3.0))]))]);
+        let path = w.write_metrics("fig_test", &metrics).unwrap();
+        assert_eq!(path, tmp.path().join("metrics").join("fig_test.json"));
+        let read_back = crate::json::parse(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(read_back, Some(metrics));
     }
 }

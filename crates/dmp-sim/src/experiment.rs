@@ -194,8 +194,10 @@ impl ExperimentSpec {
         // validation is re-evaluated per ACK instead of latched per send —
         // application-limited windows now stop growing, which shifts the
         // physics of every video flow relative to v6.
+        // v8: run summaries carry an always-on metrics snapshot; cached v7
+        // payloads lack the `metrics` section and must not be replayed.
         format!(
-            "dmp-sim/v7/{self:?}/scenario#{:016x}",
+            "dmp-sim/v8/{self:?}/scenario#{:016x}",
             self.scenario.stable_hash()
         )
     }
@@ -232,6 +234,11 @@ pub struct RunOutput {
     pub trace: StreamTrace,
     /// Measured per-path TCP parameters.
     pub paths: Vec<MeasuredPath>,
+    /// Always-on metrics: netsim sender/link distributions plus frame-level
+    /// delivery metrics, labelled with the run's `cc`/`strategy` (engine
+    /// deliberately excluded — both engines produce the identical snapshot,
+    /// and differential targets assert exactly that).
+    pub metrics: obs::MetricsSnapshot,
 }
 
 /// An experiment built but not yet run: topology, background traffic,
@@ -247,6 +254,8 @@ pub struct BuiltExperiment {
     trace: Rc<RefCell<StreamTrace>>,
     flows: Vec<netsim::FlowId>,
     recording: Option<(Rc<RefCell<Recorder>>, PathBuf, String)>,
+    /// `cc`/`strategy` label values stamped into the metrics snapshot.
+    labels: [(&'static str, String); 2],
 }
 
 impl BuiltExperiment {
@@ -285,6 +294,7 @@ impl BuiltExperiment {
             trace,
             flows,
             recording,
+            labels,
             ..
         } = self;
         let trace = trace.borrow().clone();
@@ -303,6 +313,12 @@ impl BuiltExperiment {
             })
             .collect();
 
+        let mut metrics = sim.metrics_snapshot();
+        obs::record_frame_metrics(&mut metrics, &trace);
+        for (k, v) in labels {
+            metrics.set_label(k, v);
+        }
+
         if let Some((rec, path, label)) = recording {
             // The Sim's tracer holds the other recorder handle; drop it first.
             drop(sim);
@@ -314,7 +330,11 @@ impl BuiltExperiment {
             obs::record_trace_file(label, path, out.events);
         }
 
-        RunOutput { trace, paths }
+        RunOutput {
+            trace,
+            paths,
+            metrics,
+        }
     }
 }
 
@@ -517,6 +537,10 @@ pub fn build(spec: &ExperimentSpec) -> BuiltExperiment {
         trace,
         flows,
         recording,
+        labels: [
+            ("cc", spec.cc.name().to_string()),
+            ("strategy", spec.strategy.name().to_string()),
+        ],
     }
 }
 
@@ -530,6 +554,9 @@ pub struct RunSummary {
     pub paths: Vec<MeasuredPath>,
     /// Late fractions at each requested τ (in request order).
     pub per_tau: Vec<LateFractions>,
+    /// Always-on metrics snapshot. Serialised with the summary, so cached
+    /// jobs replay the exact metrics of the original run.
+    pub metrics: obs::MetricsSnapshot,
 }
 
 impl RunSummary {
@@ -567,7 +594,11 @@ impl JsonCodec for RunSummary {
                 ])
             })
             .collect();
-        Json::obj([("paths", Json::Arr(paths)), ("per_tau", Json::Arr(per_tau))])
+        Json::obj([
+            ("paths", Json::Arr(paths)),
+            ("per_tau", Json::Arr(per_tau)),
+            ("metrics", self.metrics.to_json()),
+        ])
     }
 
     fn from_json(json: &Json) -> Option<Self> {
@@ -597,7 +628,12 @@ impl JsonCodec for RunSummary {
                 })
             })
             .collect::<Option<Vec<_>>>()?;
-        Some(Self { paths, per_tau })
+        let metrics = obs::MetricsSnapshot::from_json(json.get("metrics")?)?;
+        Some(Self {
+            paths,
+            per_tau,
+            metrics,
+        })
     }
 }
 
@@ -608,6 +644,7 @@ pub fn run_summary(spec: &ExperimentSpec, taus_s: &[f64]) -> RunSummary {
     RunSummary {
         paths: out.paths,
         per_tau: report.per_tau,
+        metrics: out.metrics,
     }
 }
 
@@ -690,6 +727,7 @@ pub fn run_scenario_summary(
         summary: RunSummary {
             paths: out.paths,
             per_tau: report.per_tau,
+            metrics: out.metrics,
         },
         resilience: res,
     }
@@ -783,6 +821,8 @@ pub struct BatchOutput {
     pub late_arrival: Vec<(f64, OnlineStats)>,
     /// Each run's lateness report (for scatter plots like Fig. 4a).
     pub reports: Vec<LatenessReport>,
+    /// All runs' metrics merged into one snapshot (order-invariant).
+    pub metrics: obs::MetricsSnapshot,
 }
 
 impl BatchOutput {
@@ -799,8 +839,10 @@ impl BatchOutput {
             late_playback: taus_s.iter().map(|&t| (t, OnlineStats::new())).collect(),
             late_arrival: taus_s.iter().map(|&t| (t, OnlineStats::new())).collect(),
             reports: Vec::with_capacity(summaries.len()),
+            metrics: obs::MetricsSnapshot::new(),
         };
         for summary in summaries {
+            out.metrics.merge(&summary.metrics);
             for (j, p) in summary.paths.iter().enumerate() {
                 out.loss[j].push(p.loss);
                 out.rtt[j].push(p.rtt_s);
@@ -942,6 +984,14 @@ mod tests {
             assert_eq!(a.playback_order, b.playback_order);
             assert_eq!(a.total, b.total);
         }
+        // The metrics snapshot rides in the cached payload: it must survive
+        // the round trip bit-for-bit, or cached jobs would replay different
+        // metrics than the original run.
+        assert_eq!(summary.metrics, back.metrics);
+        assert_eq!(summary.metrics.labels["cc"], "reno");
+        assert!(summary.metrics.counters["frame.delivered"] > 0);
+        assert!(summary.metrics.histograms["net.rtt_us"].count() > 0);
+        assert!(summary.metrics.histograms["frame.delay_ms"].count() > 0);
     }
 
     #[test]

@@ -58,6 +58,11 @@ pub struct FleetResult {
     /// Each shard's engine counters, shard-index order (engine-shaped;
     /// volatile meta sidecars only).
     pub shard_telemetry: Vec<EngineTelemetry>,
+    /// Every shard's metrics merged in shard-index order — the same merge
+    /// discipline as [`EngineTelemetry::absorb`], but over the exact integer
+    /// histogram arithmetic, so the result is also chunking- and
+    /// thread-invariant.
+    pub metrics: obs::MetricsSnapshot,
 }
 
 impl FleetResult {
@@ -87,7 +92,9 @@ impl FleetResult {
                 ("mean", Json::Num(d.mean)),
                 ("p50", Json::Num(d.p50)),
                 ("p90", Json::Num(d.p90)),
+                ("p99", Json::Num(d.p99)),
                 ("max", Json::Num(d.max)),
+                ("stddev", Json::Num(d.stddev)),
             ])
         };
         Json::obj([
@@ -215,6 +222,7 @@ pub fn run_fleet(runner: &Runner, spec: &FleetSpec, opts: &FleetOptions) -> Flee
     let mut outcomes = Vec::with_capacity(spec.sessions as usize);
     let mut shard_events = Vec::with_capacity(shards as usize);
     let mut shard_telemetry = Vec::with_capacity(shards as usize);
+    let mut metrics = obs::MetricsSnapshot::new();
     for cell in &cells {
         let outputs = match cell.ok() {
             Some(v) => v,
@@ -228,6 +236,7 @@ pub fn run_fleet(runner: &Runner, spec: &FleetSpec, opts: &FleetOptions) -> Flee
             outcomes.extend(out.outcomes.iter().copied());
             shard_events.push(out.events_processed);
             shard_telemetry.push(out.telemetry);
+            metrics.merge(&out.metrics);
         }
     }
     let report = FleetReport::from_outcomes(&outcomes, spec.duration_s);
@@ -236,13 +245,14 @@ pub fn run_fleet(runner: &Runner, spec: &FleetSpec, opts: &FleetOptions) -> Flee
         report,
         shard_events,
         shard_telemetry,
+        metrics,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmp_runner::Cache;
+    use dmp_runner::{Cache, JsonCodec};
 
     fn small_spec() -> FleetSpec {
         let mut spec = FleetSpec::new("small", 6, 2, 21);
@@ -293,5 +303,11 @@ mod tests {
             one.artifact(&spec).render(),
             chunked.artifact(&spec).render()
         );
+        assert_eq!(
+            one.metrics.to_json().render(),
+            chunked.metrics.to_json().render(),
+            "merged metrics must be chunking-invariant"
+        );
+        assert!(one.metrics.histograms["fleet.session_late_ppm"].count() > 0);
     }
 }

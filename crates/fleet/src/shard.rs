@@ -68,6 +68,11 @@ pub struct ShardOutput {
     /// The shard simulation's engine counters (engine-dependent; volatile
     /// meta only).
     pub telemetry: EngineTelemetry,
+    /// Always-on metrics: the shard sim's sender/link distributions, frame
+    /// metrics over every session's delivery trace, and per-session
+    /// lateness/headroom/glitch histograms. Engine-invariant (no HWMs), so
+    /// it merges and serialises byte-identically across engines.
+    pub metrics: obs::MetricsSnapshot,
 }
 
 /// Marks a session's lifecycle in the flight-recorder stream. Attached to
@@ -249,13 +254,41 @@ pub fn run_shard(spec: &FleetSpec, shard: u32, trace: Option<(&Path, &str)>) -> 
     // PFTK with near-zero measured loss otherwise predicts throughputs the
     // link could never carry.
     let capacity_pps = spec.bottleneck_mbps * 1e6 / 8.0 / f64::from(spec.video.packet_bytes);
-    let outcomes = sessions
+    let outcomes: Vec<SessionOutcome> = sessions
         .iter()
         .map(|s| outcome_of(&sim, spec, s, capacity_pps))
         .collect();
 
     let events_processed = sim.events_processed();
     let telemetry = EngineTelemetry::from(&sim.counters());
+
+    // Always-on metrics: netsim distributions plus frame metrics over every
+    // session's trace and per-session outcome histograms (lateness in ppm,
+    // PFTK headroom in milli-multiples, glitch counts — integer units so the
+    // buckets merge exactly). Sessions are visited in global session order,
+    // and every operation is commutative, so the snapshot is identical
+    // however shards are chunked into jobs.
+    let mut metrics = sim.metrics_snapshot();
+    for (s, o) in sessions.iter().zip(&outcomes) {
+        obs::record_frame_metrics(&mut metrics, &s.trace.borrow());
+        if o.started {
+            metrics.counter_add("fleet.sessions_started", 1);
+            metrics
+                .histogram("fleet.session_late_ppm")
+                .record((o.late_fraction * 1e6).round() as u64);
+            metrics
+                .histogram("fleet.session_headroom_milli")
+                .record((o.headroom.max(0.0) * 1e3).round() as u64);
+            metrics
+                .histogram("fleet.session_glitches")
+                .record(o.glitch_count);
+        }
+        if o.completed {
+            metrics.counter_add("fleet.sessions_completed", 1);
+        }
+    }
+    metrics.set_label("cc", spec.cc.name());
+    metrics.set_label("strategy", spec.strategy.name());
 
     if let Some((rec, path, label)) = recording {
         // The Sim's tracer holds the other recorder handle; drop it first.
@@ -273,6 +306,7 @@ pub fn run_shard(spec: &FleetSpec, shard: u32, trace: Option<(&Path, &str)>) -> 
         outcomes,
         events_processed,
         telemetry,
+        metrics,
     }
 }
 
@@ -352,6 +386,7 @@ impl JsonCodec for ShardOutput {
         Json::obj([
             ("shard", Json::Num(f64::from(self.shard))),
             ("events", Json::Num(self.events_processed as f64)),
+            ("metrics", self.metrics.to_json()),
             ("outcomes", Json::arr(outcomes)),
             (
                 "telemetry",
@@ -397,6 +432,7 @@ impl JsonCodec for ShardOutput {
         Some(ShardOutput {
             shard: json.get("shard")?.as_u64()? as u32,
             events_processed: json.get("events")?.as_u64()?,
+            metrics: obs::MetricsSnapshot::from_json(json.get("metrics")?)?,
             outcomes,
             telemetry: EngineTelemetry {
                 events_processed: field("events_processed")?,
@@ -456,7 +492,14 @@ mod tests {
         assert_eq!(a.outcomes, b.outcomes);
         assert_eq!(a.events_processed, b.events_processed);
         // Telemetry is engine-shaped (far heap vs wheel) and may differ;
-        // only the deterministic half must agree.
+        // only the deterministic half must agree. Metrics are part of that
+        // deterministic half: snapshots must serialise byte-identically.
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(
+            a.metrics.to_json().render(),
+            b.metrics.to_json().render(),
+            "metric snapshots must be byte-identical across engines"
+        );
     }
 
     #[test]
@@ -476,6 +519,10 @@ mod tests {
         let traced = run_shard(&spec, 0, Some((&path, "fleet:tiny:shard0")));
         assert_eq!(plain.outcomes, traced.outcomes);
         assert_eq!(plain.events_processed, traced.events_processed);
+        assert_eq!(
+            plain.metrics, traced.metrics,
+            "enabling the flight recorder must not perturb metrics"
+        );
         let text = std::fs::read_to_string(&path).expect("trace written");
         assert!(
             text.contains("\"ev\":\"session\""),

@@ -155,10 +155,12 @@ impl FleetSpec {
     /// `transits`/`ring_hwm`); v3 pluggable congestion control + pull
     /// strategies (`cc`/`strategy` join the spec) and per-ACK RFC 2861
     /// cwnd validation in the TCP sender (app-limited flows stop growing
-    /// their window, which shifts every simulated byte stream).
+    /// their window, which shifts every simulated byte stream); v4 shard
+    /// outputs carry an always-on metrics snapshot (cached v3 payloads
+    /// lack the `metrics` section and must not be replayed).
     pub fn config_repr(&self) -> String {
         format!(
-            "fleet/v3/{self:?}/timeline#{:016x}",
+            "fleet/v4/{self:?}/timeline#{:016x}",
             self.timeline.stable_hash()
         )
     }

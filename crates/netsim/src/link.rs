@@ -170,6 +170,11 @@ pub struct Link {
     red: Option<RedState>,
     /// Statistics.
     pub stats: LinkStats,
+    /// Always-on metrics: queue depth (packets waiting, excluding the wire)
+    /// sampled at every arrival — the full occupancy distribution behind
+    /// `LinkStats::mean_queue`. Recording is an array increment and never
+    /// touches the link's RNG, so metrics never perturb loss draws.
+    pub queue_hist: obs::Histogram,
 }
 
 /// Outcome of offering a packet to a link.
@@ -208,6 +213,7 @@ impl Link {
             rng: SmallRng::seed_from_u64(seed),
             red: spec.red.map(RedState::new),
             stats: LinkStats::default(),
+            queue_hist: obs::Histogram::new(),
         }
     }
 
@@ -245,6 +251,7 @@ impl Link {
         let queued = self.ring.len() - self.started;
         self.stats.queue_len_sum += queued as u64;
         self.stats.queue_samples += 1;
+        self.queue_hist.record(queued as u64);
         if self.admin_down {
             self.stats.dropped += 1;
             self.stats.admin_dropped += 1;

@@ -394,6 +394,43 @@ impl Sim {
         }
     }
 
+    /// Fold the simulation's always-on metrics into one mergeable snapshot:
+    /// per-sender RTT/cwnd histograms and retransmission counters, per-link
+    /// queue-depth histograms and drop counters, plus the engine event
+    /// totals. Senders and links are visited in id order and histograms merge
+    /// with exact integer arithmetic, so the snapshot is a pure function of
+    /// the simulated system — byte-identical across scheduler engines,
+    /// runner thread counts, and trace on/off.
+    pub fn metrics_snapshot(&self) -> obs::MetricsSnapshot {
+        let mut snap = obs::MetricsSnapshot::new();
+        for s in &self.senders {
+            snap.histograms
+                .entry("net.rtt_us".to_string())
+                .or_default()
+                .merge(&s.rtt_hist);
+            snap.histograms
+                .entry("net.cwnd_pkts".to_string())
+                .or_default()
+                .merge(&s.cwnd_hist);
+            snap.counter_add("net.data_sent", s.stats.data_sent);
+            snap.counter_add("net.retransmits", s.stats.retransmits);
+            snap.counter_add("net.rto_timeouts", s.stats.timeouts);
+            snap.counter_add("net.fast_retransmits", s.stats.fast_retransmits);
+        }
+        for l in &self.links {
+            snap.histograms
+                .entry("net.queue_depth_pkts".to_string())
+                .or_default()
+                .merge(&l.queue_hist);
+            snap.counter_add("net.queue_drops", l.stats.dropped);
+            snap.counter_add("net.random_loss_drops", l.stats.random_dropped);
+            snap.gauge_max("net.peak_queue_pkts", l.stats.peak_queue as f64);
+        }
+        snap.counter_add("engine.events", self.events_processed);
+        snap.counter_add("engine.transits", self.transits);
+        snap
+    }
+
     /// Immutable access to a link (for stats).
     pub fn link(&self, id: LinkId) -> &Link {
         &self.links[id as usize]

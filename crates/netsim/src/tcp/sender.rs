@@ -133,6 +133,13 @@ pub struct TcpSender {
     pub rtt: RttEstimator,
     /// Counters.
     pub stats: SenderStats,
+    /// Always-on metrics: RTT samples, µs. Recording is an array increment —
+    /// it never alters sender behaviour or RNG draws, so metrics-on runs stay
+    /// byte-identical.
+    pub rtt_hist: obs::Histogram,
+    /// Always-on metrics: cwnd in whole packets, sampled once per RTT
+    /// measurement (same Karn-filtered cadence as `rtt_hist`).
+    pub cwnd_hist: obs::Histogram,
 
     // --- interaction with the simulator ---
     /// Packets emitted since the last flush.
@@ -180,6 +187,8 @@ impl TcpSender {
             inflight: SeqRing::new(),
             rtt: RttEstimator::default(),
             stats: SenderStats::default(),
+            rtt_hist: obs::Histogram::new(),
+            cwnd_hist: obs::Histogram::new(),
             // One flush routes at most a window's worth of segments, so
             // reserving up front keeps the steady-state loop off the heap.
             outbox: Vec::with_capacity(cfg.max_wnd as usize + 1),
@@ -411,6 +420,8 @@ impl TcpSender {
                 self.rtt.update(now - t0);
                 rtt_sample_s = Some((now - t0) as f64 / 1e9);
                 self.sample = None;
+                self.rtt_hist.record((now - t0) / 1_000);
+                self.cwnd_hist.record(self.cc.cwnd() as u64);
             }
         }
         let newly_acked = ack - self.snd_una;

@@ -24,15 +24,22 @@
 //! diagnostics (cwnd evolution, per-path throughput timelines, queue-depth
 //! percentiles); the `trace-report` binary in `dmp-bench` builds the
 //! per-glitch "why" report on top.
+//!
+//! The [`metrics`] module is the complementary **always-on** layer: cheap
+//! mergeable counters/gauges/histograms that every run records regardless of
+//! tracing, snapshotted into artifact sidecars and compared across runs by
+//! the `bench_diff` regression differ.
 
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod metrics;
 pub mod recorder;
 pub mod registry;
 pub mod report;
 
 pub use event::{EventKind, PathAction, TraceEvent};
+pub use metrics::{record_frame_metrics, Histogram, MetricsSnapshot};
 pub use recorder::{Recorder, TraceConfig};
 pub use registry::{drain_trace_files, record_trace_file, TraceFileRef};
 pub use report::Trace;

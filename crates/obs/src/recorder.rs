@@ -175,6 +175,37 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// Regression guard for the exact-capacity boundary: writing precisely
+    /// `capacity` events must spill exactly once with every event present
+    /// once, and `capacity + 1` must not drop or duplicate the event that
+    /// lands right after the spill.
+    #[test]
+    fn exact_capacity_boundary_drops_and_duplicates_nothing() {
+        const CAP: u64 = 5;
+        for total in [CAP, CAP + 1] {
+            let mut r = small(CAP as usize);
+            for seq in 0..total {
+                r.emit(seq, EventKind::Generated { seq });
+            }
+            let out = r.finish().unwrap();
+            assert_eq!(out.events, total, "event count for {total} emits");
+            let text = String::from_utf8(out.bytes.unwrap()).unwrap();
+            let seqs: Vec<u64> = text
+                .lines()
+                .map(|l| match TraceEvent::parse_line(l).unwrap().kind {
+                    EventKind::Generated { seq } => seq,
+                    other => panic!("unexpected {other:?}"),
+                })
+                .collect();
+            assert_eq!(
+                seqs,
+                (0..total).collect::<Vec<_>>(),
+                "JSONL for {total} emits at capacity {CAP} must hold every \
+                 event exactly once, in order"
+            );
+        }
+    }
+
     #[test]
     fn event_count_is_reported() {
         let mut r = small(2);

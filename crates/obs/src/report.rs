@@ -6,6 +6,7 @@
 //! binary, which combines these primitives with `dmp-core`'s glitch model.
 
 use crate::event::{EventKind, TraceEvent};
+use dmp_core::Distribution;
 
 const SECOND_NS: f64 = 1e9;
 
@@ -16,19 +17,21 @@ pub struct Trace {
     pub events: Vec<TraceEvent>,
 }
 
-/// Depth percentiles of one queue's occupancy samples.
+/// Depth percentiles of one queue's occupancy samples, computed by
+/// [`Distribution::from_values`] — the repo's single percentile
+/// implementation (linear interpolation between order statistics).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueueStats {
     /// Number of samples.
     pub samples: usize,
     /// Median depth.
-    pub p50: u32,
+    pub p50: f64,
     /// 90th-percentile depth.
-    pub p90: u32,
+    pub p90: f64,
     /// 99th-percentile depth.
-    pub p99: u32,
+    pub p99: f64,
     /// Maximum sampled depth.
-    pub max: u32,
+    pub max: f64,
 }
 
 /// One reconstructed video-packet delivery: generation and arrival.
@@ -42,14 +45,6 @@ pub struct PacketTimes {
     pub arrival_s: Option<f64>,
     /// Path it arrived over (`None` until it arrives).
     pub path: Option<u32>,
-}
-
-fn percentile(sorted: &[u32], q: f64) -> u32 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 impl Trace {
@@ -212,14 +207,18 @@ impl Trace {
     }
 
     fn queue_stats(&self, f: impl Fn(&EventKind) -> Option<u32>) -> QueueStats {
-        let mut depths: Vec<u32> = self.events.iter().filter_map(|e| f(&e.kind)).collect();
-        depths.sort_unstable();
+        let depths: Vec<f64> = self
+            .events
+            .iter()
+            .filter_map(|e| f(&e.kind).map(f64::from))
+            .collect();
+        let d = Distribution::from_values(&depths);
         QueueStats {
             samples: depths.len(),
-            p50: percentile(&depths, 0.50),
-            p90: percentile(&depths, 0.90),
-            p99: percentile(&depths, 0.99),
-            max: depths.last().copied().unwrap_or(0),
+            p50: d.p50,
+            p90: d.p90,
+            p99: d.p99,
+            max: d.max,
         }
     }
 
@@ -386,8 +385,9 @@ mod tests {
         let t = sample_trace();
         let q = t.link_queue_stats(3);
         assert_eq!(q.samples, 10);
-        assert_eq!(q.max, 9);
-        assert!(q.p50 >= 4 && q.p50 <= 5, "p50 {}", q.p50);
+        assert_eq!(q.max, 9.0);
+        assert!((q.p50 - 4.5).abs() < 1e-12, "p50 {}", q.p50);
+        assert!((q.p99 - 8.91).abs() < 1e-12, "p99 {}", q.p99);
         assert_eq!(t.link_queue_stats(99).samples, 0);
         assert_eq!(t.sampled_links(), vec![3]);
     }
